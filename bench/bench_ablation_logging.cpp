@@ -1,0 +1,106 @@
+// Ablation (extension beyond the paper): crash-consistency cost on the
+// simulated Optane.
+//
+// The paper's related work (NVStream [8], Mnemosyne [29], NV-Tree [33])
+// is about reducing exactly this overhead.  We compare, on the AppDirect
+// persistence path:
+//   * no-log      — cached stores + one persist (no atomicity guarantee)
+//   * nt-store    — non-temporal stores (durable immediately, no recovery)
+//   * undo log    — write-ahead old-value logging (fence per write)
+//   * redo log    — new-value buffering (persistence batched at commit)
+// across transaction shapes (few large writes vs many small writes).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pmem/log.hpp"
+#include "pmem/region.hpp"
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+using namespace nvms;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  int writes;
+  std::size_t bytes;  ///< per write
+};
+
+struct Outcome {
+  double time;
+  double amplification;
+};
+
+std::vector<std::byte> payload(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5A});
+}
+
+Outcome run_no_log(const Shape& s) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  PmemRegion data(sys, "data", 16 * MiB);
+  const auto v = payload(s.bytes);
+  for (int i = 0; i < s.writes; ++i) {
+    data.store((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v);
+  }
+  data.persist(8);
+  return {sys.now(), 1.0};
+}
+
+Outcome run_nt(const Shape& s) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  PmemRegion data(sys, "data", 16 * MiB);
+  const auto v = payload(s.bytes);
+  for (int i = 0; i < s.writes; ++i) {
+    data.store_nt((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v,
+                  8);
+  }
+  return {sys.now(), 1.0};
+}
+
+template <typename Tx>
+Outcome run_tx(const Shape& s) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  PmemRegion data(sys, "data", 16 * MiB);
+  PmemRegion log(sys, "log", 16 * MiB);
+  Tx tx(data, log);
+  const auto v = payload(s.bytes);
+  tx.begin();
+  for (int i = 0; i < s.writes; ++i) {
+    tx.write((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v);
+  }
+  tx.commit(8);
+  return {sys.now(), tx.stats().write_amplification()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: crash-consistency protocols on simulated Optane "
+      "(one transaction per row)\n\n");
+  const Shape shapes[] = {
+      {"4 x 256 KiB (bulk)", 4, 256 * KiB},
+      {"256 x 4 KiB (pages)", 256, 4 * KiB},
+      {"4096 x 64 B (records)", 4096, 64},
+  };
+  TextTable t({"tx shape", "no-log", "nt-store", "undo log", "redo log",
+               "undo ampl", "redo ampl"});
+  for (const auto& s : shapes) {
+    const auto none = run_no_log(s);
+    const auto nt = run_nt(s);
+    const auto undo = run_tx<UndoLogTx>(s);
+    const auto redo = run_tx<RedoLogTx>(s);
+    t.add_row({s.name, format_time(none.time), format_time(nt.time),
+               format_time(undo.time), format_time(redo.time),
+               TextTable::num(undo.amplification, 2) + "x",
+               TextTable::num(redo.amplification, 2) + "x"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected: logging costs grow as writes shrink (fence-per-write in\n"
+      "undo); redo amortizes persistence into commit and wins for small\n"
+      "records — the effect NVStream-style designs exploit.\n");
+  return 0;
+}

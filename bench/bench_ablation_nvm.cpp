@@ -1,0 +1,67 @@
+// Ablation: which NVM device characteristics drive the paper's findings?
+//
+// Three model components are switched off one at a time and the Table III
+// slowdowns recomputed:
+//   * no write throttling  (throttle_alpha = 0): the read/write coupling
+//     at the iMC; removing it should collapse SuperLU stage-1 and FT
+//     slowdowns toward the raw bandwidth ratio;
+//   * flat write scaling   (write bandwidth independent of thread count):
+//     removes WPQ contention; write-heavy apps recover at high thread
+//     counts;
+//   * symmetric bandwidth  (write peak = read peak): removes the 3x
+//     asymmetry entirely; the "bottlenecked" tier should disappear.
+#include <cstdio>
+
+#include "harness/registry.hpp"
+#include "simcore/table.hpp"
+
+using namespace nvms;
+
+namespace {
+
+double slowdown(const std::string& app, const SystemConfig& nvm_variant) {
+  AppConfig cfg;
+  cfg.threads = 36;
+  SystemConfig dram_cfg = nvm_variant;
+  dram_cfg.mode = Mode::kDramOnly;
+  const auto dram = run_app_on(app, dram_cfg, cfg);
+  const auto nvm = run_app_on(app, nvm_variant, cfg);
+  return nvm.runtime / dram.runtime;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: uncached-NVM slowdown with device-model components "
+      "removed\n\n");
+
+  SystemConfig base = SystemConfig::testbed(Mode::kUncachedNvm);
+
+  SystemConfig no_throttle = base;
+  no_throttle.nvm.throttle_alpha = 0.0;
+
+  SystemConfig flat_write = base;
+  flat_write.nvm.write_scaling = ScalingCurve{{{1, 1.0}}};
+
+  SystemConfig symmetric = base;
+  symmetric.nvm.write_bw_peak = symmetric.nvm.read_bw_peak;
+  symmetric.nvm.write_scaling = symmetric.nvm.read_scaling;
+
+  TextTable t({"Application", "full model", "no throttling",
+               "flat write scaling", "symmetric BW"});
+  for (const std::string app : {"laghos", "scalapack", "superlu", "boxlib",
+                                "ft"}) {
+    t.add_row({app, TextTable::num(slowdown(app, base), 2),
+               TextTable::num(slowdown(app, no_throttle), 2),
+               TextTable::num(slowdown(app, flat_write), 2),
+               TextTable::num(slowdown(app, symmetric), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected: removing throttling helps read-coupled apps (superlu);\n"
+      "flat write scaling helps every write-heavy app at ht=36; symmetric\n"
+      "bandwidth erases the bottlenecked tier (ft, boxlib drop toward the\n"
+      "read-only slowdown ratio).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension experiment (beyond the paper): data placement for every
+// application, heuristic vs trace-driven.
+//
+// Fig. 12 demonstrates write-aware placement on ScaLAPACK.  Here we apply
+// both the paper's heuristic (rank by profiled write intensity) and the
+// trace-driven optimizer (greedy forward selection, each candidate
+// evaluated by an exact trace replay) to all eight applications under the
+// same 35% DRAM budget on uncached NVM.
+#include <cstdio>
+
+#include "harness/registry.hpp"
+#include "placement/trace_optimizer.hpp"
+#include "placement/write_aware.hpp"
+#include "prof/data_profile.hpp"
+#include "replay/recording.hpp"
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+using namespace nvms;
+
+int main() {
+  std::printf(
+      "Extension: placement under a 35%% DRAM budget, uncached NVM, "
+      "ht=36\n(speedup over no placement; DRAM%% = budget actually "
+      "used)\n\n");
+
+  const auto sys_cfg = SystemConfig::testbed(Mode::kUncachedNvm);
+  const std::uint64_t budget = sys_cfg.dram.capacity * 35 / 100;
+  auto factory = [&] { return MemorySystem(sys_cfg); };
+
+  TextTable t({"app", "write-aware", "DRAM%", "trace-optimized", "DRAM%",
+               "picks"});
+  for (const auto& app : app_names()) {
+    AppConfig cfg;
+    cfg.threads = 36;
+
+    // record + profile in one run
+    MemorySystem rec_sys(sys_cfg);
+    TraceCapture capture(rec_sys);
+    AppContext ctx(rec_sys, cfg);
+    (void)lookup_app(app).run(ctx);
+    const auto rec = capture.finish();
+    const auto profiles = collect_data_profile(rec_sys);
+
+    const auto heuristic = write_aware_plan(profiles, budget);
+    auto base_sys = factory();
+    const double baseline = rec.replay(base_sys);
+    auto heur_sys = factory();
+    const double heuristic_time = rec.replay(heur_sys, &heuristic.plan);
+
+    const auto opt = optimize_placement(rec, budget, factory);
+
+    std::string picks;
+    for (const auto& [name, time] : opt.steps) {
+      if (!picks.empty()) picks += ", ";
+      picks += name;
+      (void)time;
+    }
+    if (picks.empty()) picks = "(none)";
+
+    auto pct = [&](std::uint64_t bytes) {
+      return TextTable::num(
+                 100.0 * static_cast<double>(bytes) /
+                     static_cast<double>(sys_cfg.dram.capacity),
+                 0) +
+             "%";
+    };
+    t.add_row({app, TextTable::num(baseline / heuristic_time, 2) + "x",
+               pct(heuristic.dram_bytes),
+               TextTable::num(baseline / opt.optimized_runtime, 2) + "x",
+               pct(opt.dram_bytes), picks});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected: the optimizer matches or beats the heuristic everywhere\n"
+      "(it also promotes buffers whose READS are the bottleneck);\n"
+      "compute-bound apps (hacc, laghos) gain little either way.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: the diverging effect of concurrency on FT (uncached NVM).
+//
+// Raising concurrency increases FT's read bandwidth (3.8 -> 4.5 GB/s in
+// the paper) but *decreases* its write bandwidth (3.0 -> below 2.6 GB/s),
+// because NVM write bandwidth peaks at few writers.  The reduced writes
+// overpower the increased reads: a net performance loss (~26%).
+#include <cstdio>
+
+#include "harness/registry.hpp"
+#include "harness/ascii_plot.hpp"
+#include "harness/report.hpp"
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+using namespace nvms;
+
+int main() {
+  constexpr int kLow = 12;
+  constexpr int kHigh = 36;
+
+  AppConfig lo;
+  lo.threads = kLow;
+  AppConfig hi;
+  hi.threads = kHigh;
+  const auto r_lo = run_app("ft", Mode::kUncachedNvm, lo);
+  const auto r_hi = run_app("ft", Mode::kUncachedNvm, hi);
+
+  std::printf("Figure 7: FT on uncached-NVM at two concurrency levels\n\n");
+  std::printf("-- ht=%d trace --\n%s\n", kLow,
+              ascii_plot({{"read", &r_lo.traces.nvm_read, '*'},
+                          {"write", &r_lo.traces.nvm_write, 'o'}})
+                  .c_str());
+  std::printf("-- ht=%d trace --\n%s\n", kHigh,
+              ascii_plot({{"read", &r_hi.traces.nvm_read, '*'},
+                          {"write", &r_hi.traces.nvm_write, 'o'}})
+                  .c_str());
+
+  TextTable t({"metric", "ht=12", "ht=36", "paper trend"});
+  t.add_row({"peak write bw (GB/s)",
+             TextTable::num(r_lo.traces.nvm_write.peak() / GB, 2),
+             TextTable::num(r_hi.traces.nvm_write.peak() / GB, 2),
+             "3.0 -> <2.6 (down)"});
+  t.add_row({"peak read bw (GB/s)",
+             TextTable::num(r_lo.traces.nvm_read.peak() / GB, 2),
+             TextTable::num(r_hi.traces.nvm_read.peak() / GB, 2),
+             "3.8 -> 4.5 (up)"});
+  t.add_row({"FoM (Mop/s)", TextTable::num(r_lo.fom, 0),
+             TextTable::num(r_hi.fom, 0), "~26% loss at high ht"});
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected: writes diverge down sharply while reads stay roughly\n"
+      "level (paper: reads up slightly), so the read/write gap widens and\n"
+      "the net effect is a performance loss at high concurrency.\n");
+  return 0;
+}

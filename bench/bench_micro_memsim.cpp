@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: phase
+// resolution (the damped fixed point), DRAM-cache stream access, and
+// whole-app simulation throughput.  These guard the simulator's own
+// performance — bench binaries replay billions of simulated bytes, so the
+// per-phase cost must stay in microseconds.
+#include <benchmark/benchmark.h>
+
+#include "harness/registry.hpp"
+#include "mem/buffer.hpp"
+#include "memsim/dram_cache.hpp"
+#include "memsim/memory_system.hpp"
+#include "simcore/units.hpp"
+
+using namespace nvms;
+
+namespace {
+
+void BM_ResolvePhase(benchmark::State& state) {
+  const auto dram = ddr4_socket_params(96 * GiB);
+  const auto nvm = optane_socket_params(768 * GiB);
+  const CpuParams cpu;
+  Phase p;
+  p.name = "bm";
+  p.threads = 36;
+  p.flops = 1e9;
+  DeviceDemand nvm_dem;
+  nvm_dem.add(Pattern::kSequential, Dir::kRead, 54 * GiB);
+  nvm_dem.add(Pattern::kSequential, Dir::kWrite, 33 * GiB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve_phase(p, {}, nvm_dem, dram, nvm, cpu));
+  }
+}
+BENCHMARK(BM_ResolvePhase);
+
+void BM_CacheSequentialStream(benchmark::State& state) {
+  CacheParams cp;
+  cp.line = 4 * KiB;
+  cp.capacity = 96 * MiB;
+  DramCache cache(cp);
+  const StreamDesc rd = seq_read(0, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rd, 0, 64 * MiB));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CacheSequentialStream)->Arg(1 * MiB)->Arg(16 * MiB)->Arg(64 * MiB);
+
+void BM_CacheRandomStream(benchmark::State& state) {
+  CacheParams cp;
+  cp.line = 4 * KiB;
+  cp.capacity = 96 * MiB;
+  DramCache cache(cp);
+  const StreamDesc rr = rand_read(0, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rr, 0, 64 * MiB));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CacheRandomStream)->Arg(1 * MiB)->Arg(16 * MiB);
+
+void BM_SubmitPhase(benchmark::State& state) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto id = sys.register_buffer("bm", 32 * MiB);
+  Phase p = PhaseBuilder("bm")
+                .threads(36)
+                .flops(1e8)
+                .stream(seq_read(id, 16 * MiB))
+                .stream(seq_write(id, 4 * MiB))
+                .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.submit(p));
+  }
+}
+BENCHMARK(BM_SubmitPhase);
+
+void BM_WholeApp(benchmark::State& state) {
+  AppConfig cfg;
+  cfg.threads = 36;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_app("scalapack", Mode::kUncachedNvm, cfg));
+  }
+}
+BENCHMARK(BM_WholeApp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

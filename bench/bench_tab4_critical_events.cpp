@@ -1,0 +1,84 @@
+// Table IV: the events selected for performance prediction.
+//
+// The paper lists six hardware events (p0..p5) and prunes weak predictors
+// by p-value before fitting Eq. 1.  This bench reproduces that selection:
+// it assembles the concurrency-prediction training corpus (sampled at
+// ht=36 on cached-NVM, target ht=24), fits the regression, and reports
+// each feature's coefficient, t-statistic, p-value, and whether the
+// pruning keeps it.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness/registry.hpp"
+#include "model/predictor.hpp"
+#include "simcore/table.hpp"
+
+using namespace nvms;
+
+int main() {
+  constexpr int kSampleHt = 36;
+  constexpr int kTargetHt = 24;
+
+  std::printf(
+      "Table IV: critical-event selection for the Eq. 1 model\n"
+      "(features from ht=%d cached-NVM runs; target IPC at ht=%d)\n\n",
+      kSampleHt, kTargetHt);
+
+  std::vector<TrainingRow> rows;
+  for (const auto& name : app_names()) {
+    AppConfig sample_cfg;
+    sample_cfg.threads = kSampleHt;
+    const auto sampled = run_app(name, Mode::kCachedNvm, sample_cfg);
+    AppConfig target_cfg;
+    target_cfg.threads = kTargetHt;
+    const auto target = run_app(name, Mode::kCachedNvm, target_cfg);
+    const auto sf = aggregate_by_phase(sampled.samples);
+    const auto tf = aggregate_by_phase(target.samples);
+    for (const auto& s : sf) {
+      for (const auto& t : tf) {
+        if (t.phase != s.phase) continue;
+        rows.push_back({s.events, s.ipc, t.ipc});
+      }
+    }
+  }
+
+  IpcPredictor model;
+  model.fit(rows);
+  const auto& report = model.report();
+
+  // Feature descriptions in Table IV order (as transformed, see
+  // docs/MODEL.md: per-instruction / per-cycle rates).
+  const char* features[] = {
+      "p0 sampled IPC (instr/cycles)",
+      "p1 log instructions (scale)",
+      "p2 stall-cycle ratio",
+      "p3 offcore-wait ratio",
+      "p4 read bytes per instruction",
+      "p5 write bytes per instruction",
+  };
+
+  TextTable t({"feature", "kept", "coefficient", "t-stat", "p-value"});
+  std::size_t active_idx = 0;
+  for (std::size_t j = 0; j < 6; ++j) {
+    const bool kept = model.active()[j];
+    std::string coeff = "-";
+    std::string tstat = "-";
+    std::string pval = "-";
+    if (kept) {
+      coeff = TextTable::num(report.coefficients[active_idx], 4);
+      tstat = TextTable::num(report.t_stats[active_idx], 2);
+      pval = TextTable::num(report.p_values[active_idx], 4);
+      ++active_idx;
+    }
+    t.add_row({features[j], kept ? "yes" : "pruned", coeff, tstat, pval});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Model fit: %zu training rows, R^2 = %.3f\n", rows.size(),
+              report.r2);
+  std::printf(
+      "Expected: the memory-boundedness rates (stall/offcore/bytes-per-\n"
+      "instruction) carry the signal; weak predictors are pruned by\n"
+      "p-value, mirroring the paper's critical-event procedure.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Capacity explorer: how far beyond the DRAM capacity can a workload grow
+// before cached-NVM stops paying off?  (The Fig. 3 question, as a tool.)
+//
+//   ./capacity_explorer [app] [max_scale]     (default: boxlib 6.0)
+//
+// Sweeps the input problem from half the DRAM capacity to `max_scale`
+// times the baseline and reports footprint ratio, cached and uncached
+// runtimes, and the cached speedup.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nvms/nvms.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvms;
+  const std::string app = argc > 1 ? argv[1] : "boxlib";
+  const double max_scale = argc > 2 ? std::atof(argv[2]) : 6.0;
+  require(max_scale >= 1.0, "max_scale must be >= 1");
+
+  const double dram_cap = static_cast<double>(
+      SystemConfig::testbed(Mode::kDramOnly).dram.capacity);
+
+  std::printf("Capacity exploration for '%s'\n\n", app.c_str());
+  TextTable t({"scale", "footprint", "x DRAM", "uncached", "cached",
+               "cached speedup", "fits DRAM?"});
+
+  std::vector<double> scales = {0.5, 1.0};
+  for (double s = 2.0; s <= max_scale; s *= 1.75) scales.push_back(s);
+  scales.push_back(max_scale);
+
+  for (double scale : scales) {
+    AppConfig cfg;
+    cfg.threads = 36;
+    cfg.size_scale = scale;
+    const auto un = run_app(app, Mode::kUncachedNvm, cfg);
+    const auto ca = run_app(app, Mode::kCachedNvm, cfg);
+    const double ratio = static_cast<double>(ca.footprint) / dram_cap;
+
+    bool fits = true;
+    try {
+      (void)run_app(app, Mode::kDramOnly, cfg);
+    } catch (const CapacityError&) {
+      fits = false;
+    }
+    t.add_row({TextTable::num(scale, 2) + "x", format_bytes(ca.footprint),
+               TextTable::num(ratio, 2), format_time(un.runtime),
+               format_time(ca.runtime),
+               TextTable::num(un.runtime / ca.runtime, 2) + "x",
+               fits ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: the speedup collapses from the in-DRAM regime (where\n"
+      "cached-NVM is nearly DRAM) to a steady ~2x once the footprint\n"
+      "exceeds DRAM and the cache serves the temporal-reuse fraction.\n");
+  return 0;
+}

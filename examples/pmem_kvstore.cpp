@@ -1,0 +1,124 @@
+// A small crash-consistent key-value store on the persistent-memory
+// substrate — the AppDirect programming model end to end: fixed-slot
+// table in a PmemRegion, redo-logged updates, and a demonstrated
+// power-failure + recovery cycle.
+//
+//   ./pmem_kvstore
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "nvms/nvms.hpp"
+
+namespace {
+
+using namespace nvms;
+
+/// Fixed-size slots: [8B key][56B value] per 64B line; key 0 = empty.
+class PmemKvStore {
+ public:
+  static constexpr std::size_t kSlot = 64;
+  static constexpr std::size_t kValueLen = kSlot - sizeof(std::uint64_t);
+
+  PmemKvStore(PmemRegion& data, PmemRegion& log) : data_(data), log_(log) {}
+
+  void put(std::uint64_t key, const std::string& value) {
+    require(key != 0, "kv: key 0 is reserved");
+    require(value.size() <= kValueLen, "kv: value too long");
+    const std::size_t slot = find_slot(key);
+    std::byte buf[kSlot] = {};
+    std::memcpy(buf, &key, sizeof key);
+    std::memcpy(buf + sizeof key, value.data(), value.size());
+    RedoLogTx tx(data_, log_);
+    tx.begin();
+    tx.write(slot * kSlot, {buf, kSlot});
+    tx.commit();
+  }
+
+  std::optional<std::string> get(std::uint64_t key) const {
+    const std::size_t slots = data_.size() / kSlot;
+    for (std::size_t s = 0; s < slots; ++s) {
+      std::uint64_t k = 0;
+      std::memcpy(&k, data_.data().data() + s * kSlot, sizeof k);
+      if (k == key) {
+        const char* v = reinterpret_cast<const char*>(data_.data().data() +
+                                                      s * kSlot + sizeof k);
+        return std::string(v, strnlen(v, kValueLen));
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Run after a power failure.
+  static void recover(PmemRegion& data, PmemRegion& log) {
+    (void)RedoLogTx::recover(data, log);
+  }
+
+ private:
+  std::size_t find_slot(std::uint64_t key) const {
+    const std::size_t slots = data_.size() / kSlot;
+    std::size_t first_free = slots;
+    for (std::size_t s = 0; s < slots; ++s) {
+      std::uint64_t k = 0;
+      std::memcpy(&k, data_.data().data() + s * kSlot, sizeof k);
+      if (k == key) return s;
+      if (k == 0 && first_free == slots) first_free = s;
+    }
+    require(first_free < slots, "kv: store full");
+    return first_free;
+  }
+
+  PmemRegion& data_;
+  PmemRegion& log_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace nvms;
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  PmemRegion data(sys, "kv-data", 64 * KiB);
+  PmemRegion log(sys, "kv-log", 64 * KiB);
+  PmemKvStore kv(data, log);
+
+  std::printf("1. Committing three keys...\n");
+  kv.put(1, "persistent");
+  kv.put(2, "memory");
+  kv.put(3, "store");
+
+  std::printf("2. Power failure + recovery: committed data survives.\n");
+  data.crash();
+  log.crash();
+  PmemKvStore::recover(data, log);
+  for (std::uint64_t k : {1, 2, 3}) {
+    std::printf("   key %llu -> '%s'\n", static_cast<unsigned long long>(k),
+                kv.get(k).value_or("<LOST!>").c_str());
+  }
+
+  std::printf(
+      "3. Crash in the middle of an update: the old value must win.\n");
+  {
+    RedoLogTx tx(data, log);
+    std::byte buf[64] = {};
+    const std::uint64_t key = 2;
+    std::memcpy(buf, &key, sizeof key);
+    std::memcpy(buf + 8, "TORN-UPDATE", 11);
+    tx.begin();
+    // locate key 2's slot the cheap way: second insert -> slot 1
+    tx.write(1 * PmemKvStore::kSlot, {buf, 64});
+    // ... power fails before commit ...
+    data.crash();
+    log.crash();
+    PmemKvStore::recover(data, log);
+  }
+  std::printf("   key 2 -> '%s' (expected 'memory')\n",
+              kv.get(2).value_or("<LOST!>").c_str());
+
+  std::printf("\nSimulated NVM time spent: %s; flush traffic: %s\n",
+              format_time(sys.now()).c_str(),
+              format_bytes(sys.traffic(data.buffer()).write_bytes +
+                           sys.traffic(log.buffer()).write_bytes)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Prediction-model walkthrough (Sec. V-A): train the Eq. 1 IPC model from
+// sampled-configuration runs and use it to pick a concurrency level for a
+// target application without running the full sweep for it.
+//
+//   ./predictor_demo [eval_app]      (default: xsbench)
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nvms/nvms.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nvms;
+  const std::string eval_app = argc > 1 ? argv[1] : "xsbench";
+  constexpr int kSampleHt = 36;
+  const std::vector<int> levels = {12, 18, 24, 30, 42, 48};
+
+  std::printf("Training the IPC model (sampled at ht=%d, cached-NVM)...\n",
+              kSampleHt);
+
+  // Collect per-phase features for the whole corpus at the sampled level,
+  // and the observed IPCs at every target level.
+  struct Data {
+    std::map<int, std::vector<PhaseFeature>> by_ht;
+    std::map<int, double> run_ipc;
+  };
+  std::map<std::string, Data> corpus;
+  for (const auto& name : app_names()) {
+    for (int ht : levels) {
+      AppConfig cfg;
+      cfg.threads = ht;
+      const auto r = run_app(name, Mode::kCachedNvm, cfg);
+      corpus[name].by_ht[ht] = aggregate_by_phase(r.samples);
+      corpus[name].run_ipc[ht] = r.counters.ipc();
+    }
+    AppConfig cfg;
+    cfg.threads = kSampleHt;
+    const auto r = run_app(name, Mode::kCachedNvm, cfg);
+    corpus[name].by_ht[kSampleHt] = aggregate_by_phase(r.samples);
+    corpus[name].run_ipc[kSampleHt] = r.counters.ipc();
+  }
+
+  TextTable t({"ht", "predicted IPC", "observed IPC", "accuracy"});
+  for (int ht : levels) {
+    std::vector<TrainingRow> rows;
+    for (const auto& [name, d] : corpus) {
+      for (const auto& sf : d.by_ht.at(kSampleHt)) {
+        for (const auto& tf : d.by_ht.at(ht)) {
+          if (tf.phase != sf.phase) continue;
+          rows.push_back({sf.events, sf.ipc, tf.ipc});
+        }
+      }
+    }
+    IpcPredictor model;
+    model.fit(rows);
+
+    const auto& d = corpus.at(eval_app);
+    std::vector<double> insns;
+    std::vector<double> ipcs;
+    for (const auto& sf : d.by_ht.at(kSampleHt)) {
+      insns.push_back(sf.instructions);
+      ipcs.push_back(model.predict(sf.events, sf.ipc));
+    }
+    const double predicted = combine_phase_ipcs(insns, ipcs);
+    const double observed = d.run_ipc.at(ht);
+    t.add_row({std::to_string(ht), TextTable::num(predicted, 3),
+               TextTable::num(observed, 3),
+               TextTable::num(100.0 * prediction_accuracy(predicted, observed),
+                              1) +
+                   "%"});
+  }
+  std::printf("\nPrediction for '%s':\n%s\n", eval_app.c_str(),
+              t.render().c_str());
+  std::printf(
+      "The model lets a developer pick a configuration from one sampled\n"
+      "run per application instead of sweeping the whole space.\n");
+  return 0;
+}

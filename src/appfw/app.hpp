@@ -1,0 +1,53 @@
+// Application framework: the interface every dwarf mini-app implements.
+//
+// An App owns its numerical kernel and the translation of that kernel's
+// loop structure into exact phase traffic for the memory simulator.  The
+// harness instantiates a MemorySystem per (app, mode, config) and calls
+// run(); the result carries the virtual runtime, the app-defined figure of
+// merit, counters, traces, and a numeric checksum for correctness tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appfw/context.hpp"
+#include "memsim/counters.hpp"
+#include "prof/sample.hpp"
+#include "trace/run_traces.hpp"
+
+namespace nvms {
+
+struct AppResult {
+  std::string app;
+  std::string mode;
+  double runtime = 0.0;  ///< virtual seconds of the main computation
+  double fom = 0.0;      ///< application-defined figure of merit
+  std::string fom_unit;
+  bool higher_is_better = false;
+  std::uint64_t footprint = 0;  ///< peak registered bytes
+  HwCounters counters;
+  RunTraces traces;
+  std::vector<CounterSample> samples;
+  /// Order-stable numeric digest of the computed output, for correctness
+  /// tests: identical across memory modes by construction.
+  double checksum = 0.0;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Registry key, e.g. "scalapack".
+  virtual std::string name() const = 0;
+  /// The paper's Dwarf classification, e.g. "Dense Linear Algebra".
+  virtual std::string dwarf() const = 0;
+  /// Short description of the modelled input problem (Table II).
+  virtual std::string input_problem() const = 0;
+
+  /// Execute the kernel against ctx.sys and fill in the result.
+  virtual AppResult run(AppContext& ctx) const = 0;
+};
+
+}  // namespace nvms

@@ -1,0 +1,81 @@
+// AppContext: everything a dwarf kernel needs at run time — the memory
+// system, the run configuration, a profiling recorder, and plan-aware
+// buffer allocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mem/buffer.hpp"
+#include "mem/placement_plan.hpp"
+#include "memsim/memory_system.hpp"
+#include "prof/run_recorder.hpp"
+#include "simcore/rng.hpp"
+
+namespace nvms {
+
+struct AppConfig {
+  /// Logical concurrency of the run (the paper sweeps 6..48 HT threads).
+  int threads = 36;
+  /// Multiplies the input-problem footprint (1.0 = the paper's baseline
+  /// problem at 50-85% of scaled DRAM capacity).
+  double size_scale = 1.0;
+  /// Iteration override; 0 keeps the app default.
+  int iterations = 0;
+  std::uint64_t seed = 7;
+  /// Optional write-aware placement plan (uncached-NVM optimization).
+  const PlacementPlan* placement = nullptr;
+  /// Optional per-timestep hook (checkpoint/visualization experiments):
+  /// invoked by apps that support it with the primary state buffer.
+  using StepHook = std::function<void(MemorySystem&, int step,
+                                      BufferId state, std::uint64_t bytes)>;
+  StepHook step_hook;
+
+  void validate() const {
+    require(threads >= 1, "config: threads must be >= 1");
+    require(size_scale > 0.0, "config: size_scale must be positive");
+    require(iterations >= 0, "config: iterations must be >= 0");
+  }
+};
+
+class AppContext {
+ public:
+  AppContext(MemorySystem& sys, const AppConfig& cfg)
+      : sys_(sys), cfg_(cfg), rec_(sys), rng_(cfg.seed) {
+    cfg.validate();
+  }
+
+  MemorySystem& sys() { return sys_; }
+  const AppConfig& cfg() const { return cfg_; }
+  RunRecorder& recorder() { return rec_; }
+  Rng& rng() { return rng_; }
+
+  /// Allocate a named, typed buffer, honouring the placement plan.
+  template <typename T>
+  Buffer<T> alloc(std::string name, std::size_t count) {
+    return alloc<T>(std::move(name), count, count);
+  }
+
+  /// Allocate with a virtual footprint larger than the host array
+  /// (self-similar scaling; see Buffer).
+  template <typename T>
+  Buffer<T> alloc(std::string name, std::size_t count,
+                  std::size_t virtual_count) {
+    Placement p = Placement::kAuto;
+    if (cfg_.placement != nullptr) p = cfg_.placement->lookup(name);
+    return Buffer<T>(sys_, std::move(name), count, virtual_count, p);
+  }
+
+  /// Submit a phase through the recorder (per-phase samples collected).
+  PhaseResolution run(const Phase& phase) { return rec_.submit(phase); }
+
+ private:
+  MemorySystem& sys_;
+  const AppConfig& cfg_;
+  RunRecorder rec_;
+  Rng rng_;
+};
+
+}  // namespace nvms

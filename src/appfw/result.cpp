@@ -1,0 +1,17 @@
+#include "appfw/result.hpp"
+
+namespace nvms {
+
+AppResult finalize_result(AppContext& ctx, std::string app_name) {
+  AppResult r;
+  r.app = std::move(app_name);
+  r.mode = to_string(ctx.sys().mode());
+  r.runtime = ctx.sys().now();
+  r.counters = ctx.sys().counters();
+  r.traces = ctx.sys().traces();
+  r.samples = ctx.recorder().samples();
+  r.footprint = ctx.sys().peak_footprint();
+  return r;
+}
+
+}  // namespace nvms

@@ -1,0 +1,398 @@
+#include "cli/driver.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "harness/registry.hpp"
+#include "harness/sweep.hpp"
+#include "harness/report.hpp"
+#include "mem/space.hpp"
+#include "placement/write_aware.hpp"
+#include "prof/data_profile.hpp"
+#include "replay/recording.hpp"
+#include "simcore/json.hpp"
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+constexpr const char* kUsage = R"(nvmsim — NVM-based memory system simulator
+
+usage: nvmsim <command> [options]
+
+commands:
+  list                      registered applications
+  devices                   calibrated device parameters
+  run <app>                 run one application
+      --mode dram-only|cached-nvm|uncached-nvm   (default uncached-nvm)
+      --threads N           simulated concurrency       (default 36)
+      --scale S             input-problem scale         (default 1.0)
+      --iters K             iteration override          (default app)
+      --trace FILE          write the bandwidth trace as CSV
+      --remote-nvm          access NVM on the remote socket over UPI
+      --numa local|interleave|remote   two-socket placement policy
+      --json                emit the result as JSON
+  sweep <app>               run across modes x concurrency
+      --modes a,b,c         (default: all three)
+      --threads a,b,c       (default: 12,24,36,48)
+      --scale S
+      --csv                 emit CSV instead of a table
+  profile <app>             data-centric profile + write-aware plan
+      --threads N --scale S
+      --budget PCT          DRAM budget percent        (default 35)
+  record <app> --out FILE   capture the phase trace of a run
+      --mode M --threads N --scale S
+  replay FILE               re-execute a trace on another configuration
+      --mode M              (default uncached-nvm)
+      --nvm-write-bw GBS    override the NVM write peak (what-if)
+      --nvm-read-bw GBS     override the NVM read peak (what-if)
+)";
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+AppConfig config_from(const Options& opt) {
+  AppConfig cfg;
+  cfg.threads = static_cast<int>(opt.get_int("threads", 36));
+  cfg.size_scale = opt.get_double("scale", 1.0);
+  cfg.iterations = static_cast<int>(opt.get_int("iters", 0));
+  cfg.validate();
+  return cfg;
+}
+
+int cmd_list(std::ostream& out) {
+  TextTable t({"name", "dwarf", "input problem"});
+  for (const auto& name : app_names()) {
+    const App& app = lookup_app(name);
+    t.add_row({name, app.dwarf(), app.input_problem()});
+  }
+  for (const auto& name : extra_app_names()) {
+    const App& app = lookup_app(name);
+    t.add_row({name, app.dwarf(), app.input_problem()});
+  }
+  out << t.render();
+  return 0;
+}
+
+int cmd_devices(std::ostream& out) {
+  const auto cfg = SystemConfig::testbed(Mode::kUncachedNvm);
+  TextTable t({"parameter", "DRAM (ddr4)", "NVM (optane)"});
+  auto row = [&](const std::string& name, const std::string& d,
+                 const std::string& n) { t.add_row({name, d, n}); };
+  row("capacity (scaled 1/1024)", format_bytes(cfg.dram.capacity),
+      format_bytes(cfg.nvm.capacity));
+  row("read latency seq/rand",
+      format_time(cfg.dram.read_lat_seq) + " / " +
+          format_time(cfg.dram.read_lat_rand),
+      format_time(cfg.nvm.read_lat_seq) + " / " +
+          format_time(cfg.nvm.read_lat_rand));
+  row("read / write peak",
+      format_bandwidth(cfg.dram.read_bw_peak) + " / " +
+          format_bandwidth(cfg.dram.write_bw_peak),
+      format_bandwidth(cfg.nvm.read_bw_peak) + " / " +
+          format_bandwidth(cfg.nvm.write_bw_peak));
+  row("media granularity", std::to_string(cfg.dram.media_granularity) + " B",
+      std::to_string(cfg.nvm.media_granularity) + " B");
+  row("write scaling sweet spot",
+      TextTable::num(cfg.dram.write_scaling.argmax(), 0) + " thr",
+      TextTable::num(cfg.nvm.write_scaling.argmax(), 0) + " thr");
+  row("throttle alpha", TextTable::num(cfg.dram.throttle_alpha, 2),
+      TextTable::num(cfg.nvm.throttle_alpha, 2));
+  out << t.render();
+  return 0;
+}
+
+int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "run: missing application name\n";
+    return 2;
+  }
+  const std::string app = opt.positional()[0];
+  const auto mode = parse_mode(opt.get("mode", "uncached-nvm"));
+  if (!mode) {
+    err << "run: unknown mode\n";
+    return 2;
+  }
+  SystemConfig sys_cfg = SystemConfig::testbed(*mode);
+  if (opt.has("remote-nvm")) {
+    (void)opt.get("remote-nvm", "");
+    sys_cfg.remote_nvm = true;
+  }
+  const std::string numa = opt.get("numa", "");
+  if (!numa.empty()) {
+    sys_cfg.sockets = 2;
+    if (numa == "local") {
+      sys_cfg.numa_policy = NumaPolicy::kLocalSocket;
+    } else if (numa == "interleave") {
+      sys_cfg.numa_policy = NumaPolicy::kInterleave;
+    } else if (numa == "remote") {
+      sys_cfg.numa_policy = NumaPolicy::kRemoteSocket;
+    } else {
+      err << "run: unknown --numa policy '" << numa << "'\n";
+      return 2;
+    }
+  }
+  const AppConfig cfg = config_from(opt);
+  const AppResult r = run_app_on(app, sys_cfg, cfg);
+
+  if (opt.has("json")) {
+    (void)opt.get("json", "");
+    Json j;
+    j.set("app", r.app)
+        .set("dwarf", lookup_app(app).dwarf())
+        .set("mode", r.mode)
+        .set("threads", cfg.threads)
+        .set("size_scale", cfg.size_scale)
+        .set("footprint_bytes", r.footprint)
+        .set("runtime_s", r.runtime)
+        .set("fom", r.fom)
+        .set("fom_unit", r.fom_unit)
+        .set("higher_is_better", r.higher_is_better)
+        .set("avg_read_bw_gbs", r.traces.avg_read_bw() / GB)
+        .set("avg_write_bw_gbs", r.traces.avg_write_bw() / GB)
+        .set("ipc", r.counters.ipc())
+        .set("checksum", r.checksum);
+    Json counters;
+    counters.set("instructions", r.counters.instructions)
+        .set("cycles_active", r.counters.cycles_active)
+        .set("stall_cycles", r.counters.stall_cycles)
+        .set("offcore_wait", r.counters.offcore_wait)
+        .set("imc_reads", r.counters.imc_reads)
+        .set("imc_writes", r.counters.imc_writes);
+    j.set("counters", counters);
+    out << j.dump(2) << "\n";
+    return 0;
+  }
+
+  TextTable t({"metric", "value"});
+  t.add_row({"app", r.app + " (" + lookup_app(app).dwarf() + ")"});
+  t.add_row({"mode", r.mode});
+  t.add_row({"threads", std::to_string(cfg.threads)});
+  t.add_row({"footprint", format_bytes(r.footprint)});
+  t.add_row({"runtime", format_time(r.runtime)});
+  t.add_row({"FoM", TextTable::num(r.fom, 2) + " " + r.fom_unit +
+                        (r.higher_is_better ? " (higher better)"
+                                            : " (lower better)")});
+  t.add_row({"avg read BW", format_bandwidth(r.traces.avg_read_bw())});
+  t.add_row({"avg write BW", format_bandwidth(r.traces.avg_write_bw())});
+  t.add_row({"IPC", TextTable::num(r.counters.ipc(), 3)});
+  t.add_row({"checksum", TextTable::num(r.checksum, 6)});
+  out << t.render();
+
+  const std::string trace_file = opt.get("trace", "");
+  if (!trace_file.empty()) {
+    std::ofstream f(trace_file);
+    if (!f) {
+      err << "run: cannot write " << trace_file << "\n";
+      return 1;
+    }
+    f << render_trace_csv(r.traces, 256);
+    out << "trace written to " << trace_file << " (256 samples)\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "sweep: missing application name\n";
+    return 2;
+  }
+  const std::string app = opt.positional()[0];
+  std::vector<Mode> modes;
+  for (const auto& m :
+       split_csv(opt.get("modes", "dram-only,cached-nvm,uncached-nvm"))) {
+    const auto parsed = parse_mode(m);
+    if (!parsed) {
+      err << "sweep: unknown mode '" << m << "'\n";
+      return 2;
+    }
+    modes.push_back(*parsed);
+  }
+  SweepSpec spec;
+  spec.app = app;
+  spec.modes = modes;
+  spec.threads.clear();
+  for (const auto& t : split_csv(opt.get("threads", "12,24,36,48"))) {
+    spec.threads.push_back(std::stoi(t));
+  }
+  spec.scales = {opt.get_double("scale", 1.0)};
+  const auto rows = run_sweep(spec);
+
+  if (opt.has("csv")) {
+    (void)opt.get("csv", "");
+    out << sweep_csv(rows);
+    return 0;
+  }
+  TextTable t({"mode", "threads", "runtime", "FoM"});
+  for (const auto& r : rows) {
+    t.add_row({to_string(r.mode), std::to_string(r.threads),
+               format_time(r.result.runtime),
+               TextTable::num(r.result.fom, 2) + " " + r.result.fom_unit});
+  }
+  out << t.render();
+  return 0;
+}
+
+int cmd_profile(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "profile: missing application name\n";
+    return 2;
+  }
+  const std::string app = opt.positional()[0];
+  const AppConfig cfg = config_from(opt);
+  const long budget_pct = opt.get_int("budget", 35);
+  if (budget_pct <= 0 || budget_pct > 100) {
+    err << "profile: --budget must be in (0,100]\n";
+    return 2;
+  }
+
+  const auto sys_cfg = SystemConfig::testbed(Mode::kUncachedNvm);
+  MemorySystem sys(sys_cfg);
+  AppContext ctx(sys, cfg);
+  (void)lookup_app(app).run(ctx);
+  const auto profiles = collect_data_profile(sys);
+
+  TextTable t({"buffer", "size", "reads", "writes", "write intensity"});
+  for (const auto& p : profiles) {
+    t.add_row({p.name, format_bytes(p.bytes), format_bytes(p.read_bytes),
+               format_bytes(p.write_bytes),
+               TextTable::num(p.write_intensity(), 1)});
+  }
+  out << t.render();
+
+  const auto wa = write_aware_plan(
+      profiles, sys_cfg.dram.capacity * static_cast<unsigned>(budget_pct) /
+                    100);
+  out << "\nwrite-aware plan (" << budget_pct
+      << "% DRAM budget): " << wa.in_dram.size() << " buffer(s) -> DRAM, "
+      << format_bytes(wa.dram_bytes) << " used\n";
+  for (const auto& name : wa.in_dram) out << "  -> DRAM: " << name << "\n";
+  return 0;
+}
+
+int cmd_record(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "record: missing application name\n";
+    return 2;
+  }
+  const std::string file = opt.get("out", "");
+  if (file.empty()) {
+    err << "record: --out FILE is required\n";
+    return 2;
+  }
+  const auto mode = parse_mode(opt.get("mode", "uncached-nvm"));
+  if (!mode) {
+    err << "record: unknown mode\n";
+    return 2;
+  }
+  const AppConfig cfg = config_from(opt);
+  MemorySystem sys(SystemConfig::testbed(*mode));
+  TraceCapture capture(sys);
+  AppContext ctx(sys, cfg);
+  (void)lookup_app(opt.positional()[0]).run(ctx);
+  const auto rec = capture.finish();
+  std::ofstream f(file);
+  if (!f) {
+    err << "record: cannot write " << file << "\n";
+    return 1;
+  }
+  f << rec.save();
+  out << "recorded " << rec.phases.size() << " phases over "
+      << rec.buffers.size() << " buffers ("
+      << format_bytes(rec.total_bytes()) << " of traffic) to " << file
+      << "\n";
+  return 0;
+}
+
+int cmd_replay(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "replay: missing trace file\n";
+    return 2;
+  }
+  std::ifstream f(opt.positional()[0]);
+  if (!f) {
+    err << "replay: cannot read " << opt.positional()[0] << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto rec = PhaseRecording::load(buf.str());
+
+  const auto mode = parse_mode(opt.get("mode", "uncached-nvm"));
+  if (!mode) {
+    err << "replay: unknown mode\n";
+    return 2;
+  }
+  SystemConfig sys_cfg = SystemConfig::testbed(*mode);
+  const double wbw = opt.get_double("nvm-write-bw", 0.0);
+  if (wbw > 0.0) sys_cfg.nvm.write_bw_peak = gbps(wbw);
+  const double rbw = opt.get_double("nvm-read-bw", 0.0);
+  if (rbw > 0.0) sys_cfg.nvm.read_bw_peak = gbps(rbw);
+
+  MemorySystem sys(sys_cfg);
+  const double time = rec.replay(sys);
+  TextTable t({"metric", "value"});
+  t.add_row({"phases", std::to_string(rec.phases.size())});
+  t.add_row({"mode", to_string(*mode)});
+  t.add_row({"replayed runtime", format_time(time)});
+  t.add_row({"avg read BW", format_bandwidth(sys.traces().avg_read_bw())});
+  t.add_row({"avg write BW", format_bandwidth(sys.traces().avg_write_bw())});
+  out << t.render();
+  return 0;
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Options opt = Options::parse(argc, argv, 2);
+    int rc;
+    if (cmd == "list") {
+      rc = cmd_list(out);
+    } else if (cmd == "devices") {
+      rc = cmd_devices(out);
+    } else if (cmd == "run") {
+      rc = cmd_run(opt, out, err);
+    } else if (cmd == "sweep") {
+      rc = cmd_sweep(opt, out, err);
+    } else if (cmd == "profile") {
+      rc = cmd_profile(opt, out, err);
+    } else if (cmd == "record") {
+      rc = cmd_record(opt, out, err);
+    } else if (cmd == "replay") {
+      rc = cmd_replay(opt, out, err);
+    } else if (cmd == "help" || cmd == "--help") {
+      out << kUsage;
+      rc = 0;
+    } else {
+      err << "unknown command '" << cmd << "'\n" << kUsage;
+      return 2;
+    }
+    for (const auto& key : opt.unused()) {
+      err << "warning: unused option --" << key << "\n";
+    }
+    return rc;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace nvms

@@ -1,0 +1,20 @@
+// The nvmsim command-line driver (library part, so tests can call it).
+//
+// Commands:
+//   list                              — registered applications
+//   run <app> [--mode M] [--threads N] [--scale S] [--iters K]
+//             [--trace FILE.csv] [--remote-nvm]
+//   sweep <app> [--modes a,b,c] [--threads 12,24,36] [--scale S]
+//   profile <app> [--threads N] [--scale S] [--budget PCT]
+//   devices                           — calibrated device parameters
+#pragma once
+
+#include <iosfwd>
+
+namespace nvms {
+
+/// Run the driver; returns a process exit code.  Output goes to `out`,
+/// errors are reported on `err`.
+int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace nvms

@@ -1,0 +1,8 @@
+// Entry point of the nvmsim command-line driver.
+#include <iostream>
+
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  return nvms::cli_main(argc, argv, std::cout, std::cerr);
+}

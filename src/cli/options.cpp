@@ -1,0 +1,66 @@
+#include "cli/options.hpp"
+
+#include <cstdlib>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+Options Options::parse(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      require(!key.empty(), "empty option name");
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        o.kv_[key] = argv[++i];
+      } else {
+        o.kv_[key] = "true";  // bare flag
+      }
+    } else {
+      o.positional_.push_back(arg);
+    }
+  }
+  return o;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+long Options::get_int(const std::string& key, long fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0',
+          "option --" + key + " expects an integer, got '" + it->second +
+              "'");
+  return v;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0',
+          "option --" + key + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : kv_) {
+    if (touched_.find(key) == touched_.end()) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace nvms

@@ -1,0 +1,35 @@
+// Tiny command-line option parser for the nvmsim driver: positional
+// command + `--key value` / `--flag` pairs, with typed accessors and
+// unknown-option detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nvms {
+
+class Options {
+ public:
+  /// Parse argv after the command word.  Throws ConfigError on malformed
+  /// input ("--key" at the end expecting a value is treated as a flag).
+  static Options parse(int argc, char** argv, int first = 1);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Keys the program never asked about (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,177 @@
+#include "dwarfs/laghos/laghos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "appfw/result.hpp"
+
+namespace nvms {
+
+LaghosParams LaghosParams::from(const AppConfig& cfg) {
+  LaghosParams p;
+  p.virtual_zones = static_cast<std::uint64_t>(
+      static_cast<double>(p.virtual_zones) * cfg.size_scale);
+  if (cfg.iterations > 0) p.timesteps = cfg.iterations;
+  return p;
+}
+
+double HydroState::total_energy() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < zones(); ++i) {
+    const double m = rho[i] * (x[i + 1] - x[i]);
+    const double vz = 0.5 * (v[i] + v[i + 1]);
+    total += m * (e[i] + 0.5 * vz * vz);
+  }
+  return total;
+}
+
+HydroState make_sedov(std::size_t zones, double blast_energy) {
+  require(zones >= 8, "laghos: need at least 8 zones");
+  HydroState s;
+  s.x.resize(zones + 1);
+  s.v.assign(zones + 1, 0.0);
+  s.rho.assign(zones, 1.0);
+  s.e.assign(zones, 1e-6);
+  for (std::size_t i = 0; i <= zones; ++i)
+    s.x[i] = static_cast<double>(i) / static_cast<double>(zones);
+  s.e[0] = blast_energy / (s.rho[0] * (s.x[1] - s.x[0]));
+  return s;
+}
+
+double hydro_step(HydroState& s, double cfl) {
+  const std::size_t n = s.zones();
+  // zone pressure with von Neumann-Richtmyer artificial viscosity
+  std::vector<double> p(n);
+  double max_speed = 1e-12;
+  double min_dx = 1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = s.x[i + 1] - s.x[i];
+    const double dv = s.v[i + 1] - s.v[i];
+    double q = 0.0;
+    if (dv < 0.0) q = 2.0 * s.rho[i] * dv * dv;  // compression only
+    p[i] = (s.gamma - 1.0) * s.rho[i] * s.e[i] + q;
+    const double cs = std::sqrt(s.gamma * std::max(p[i], 1e-12) / s.rho[i]);
+    max_speed = std::max(max_speed, cs + std::abs(dv));
+    min_dx = std::min(min_dx, dx);
+  }
+  const double dt = cfl * min_dx / max_speed;
+
+  // node acceleration from pressure gradient (reflective boundaries)
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m_node =
+        0.5 * (s.rho[i - 1] * (s.x[i] - s.x[i - 1]) +
+               s.rho[i] * (s.x[i + 1] - s.x[i]));
+    const double a = -(p[i] - p[i - 1]) / std::max(m_node, 1e-12);
+    s.v[i] += dt * a;
+  }
+  s.v[0] = 0.0;
+  s.v[n] = 0.0;
+
+  // move mesh, update density (mass conservation) and energy (pdV work)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx_old = s.x[i + 1] - s.x[i];
+    const double m = s.rho[i] * dx_old;
+    const double de = -p[i] * (s.v[i + 1] - s.v[i]) * dt / m;
+    s.e[i] = std::max(s.e[i] + de, 1e-12);
+    // positions advance after energy so pdV uses the begin-of-step p
+  }
+  for (std::size_t i = 0; i <= n; ++i) s.x[i] += dt * s.v[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx_new = std::max(s.x[i + 1] - s.x[i], 1e-9);
+    // zone mass is invariant; recover it from the pre-step state is not
+    // possible here, so track via rho*dx continuity:
+    s.rho[i] = s.rho[i] * (dx_new > 0 ? ((s.x[i + 1] - dt * s.v[i + 1]) -
+                                         (s.x[i] - dt * s.v[i])) /
+                                            dx_new
+                                      : 1.0);
+    s.rho[i] = std::max(s.rho[i], 1e-9);
+  }
+  return dt;
+}
+
+double shock_position(const HydroState& s) {
+  std::size_t best = 0;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < s.v.size(); ++i) {
+    if (std::abs(s.v[i]) > vmax) {
+      vmax = std::abs(s.v[i]);
+      best = i;
+    }
+  }
+  return s.x[best];
+}
+
+AppResult LaghosApp::run(AppContext& ctx) const {
+  const auto p = LaghosParams::from(ctx.cfg());
+  const std::uint64_t Z = p.virtual_zones;
+  // ~14 doubles per zone: positions, velocities, forces, quadrature data.
+  const std::uint64_t mesh_elems = 6 * Z;
+  const std::uint64_t quad_elems = 8 * Z;
+
+  auto mesh = ctx.alloc<double>("mesh_state", 4 * p.real_zones, mesh_elems);
+  auto quad = ctx.alloc<double>("quadrature_data", 4 * p.real_zones,
+                                quad_elems);
+
+  HydroState host = make_sedov(p.real_zones, 0.3);
+  const double e0 = host.total_energy();
+
+  const int threads = ctx.cfg().threads;
+  const std::uint64_t fp = (mesh_elems + quad_elems) * sizeof(double);
+  auto frac = [fp](double f) {
+    return static_cast<std::uint64_t>(static_cast<double>(fp) * f);
+  };
+
+  // Stage 1: assembly passes (~20% of execution; writes stay below the
+  // NVM throttling threshold at ~1.3 GB/s demand).
+  const double assembly_flops = 1.25e10;
+  for (int a = 0; a < p.assembly_passes; ++a) {
+    ctx.run(PhaseBuilder("assembly")
+                .threads(threads)
+                .flops(assembly_flops)
+                .parallel_fraction(0.995)
+                .overlap(0.5)
+                .mlp(p.gather_mlp)
+                .stream(strided_read(quad.id(), frac(2.0)))
+                .stream(rand_read(mesh.id(), frac(0.3)).with_granule(64))
+                .stream(seq_write(quad.id(), frac(0.75)))
+                .build());
+  }
+
+  // Stage 2: the time loop (corner force + state update), compute-bound.
+  const double step_flops = 1.25e10;
+  for (int t = 0; t < p.timesteps; ++t) {
+    hydro_step(host, 0.4);
+    ctx.run(PhaseBuilder("timeloop:force")
+                .threads(threads)
+                .flops(0.7 * step_flops)
+                .parallel_fraction(0.995)
+                .overlap(0.4)
+                .mlp(p.gather_mlp)
+                .stream(strided_read(quad.id(), frac(1.3)))
+                .stream(rand_read(mesh.id(), frac(0.2)).with_granule(64))
+                .stream(seq_write(mesh.id(), frac(0.3)))
+                .build());
+    ctx.run(PhaseBuilder("timeloop:update")
+                .threads(threads)
+                .flops(0.3 * step_flops)
+                .parallel_fraction(0.995)
+                .overlap(0.4)
+                .stream(seq_read(mesh.id(), frac(0.35)))
+                .stream(seq_write(mesh.id(), frac(0.2)))
+                .build());
+    if (ctx.cfg().step_hook) {
+      ctx.cfg().step_hook(ctx.sys(), t, mesh.id(),
+                          mesh_elems * sizeof(double));
+    }
+  }
+
+  AppResult r = finalize_result(ctx, name());
+  r.fom = r.runtime;
+  r.fom_unit = "s";
+  r.higher_is_better = false;
+  // Energy conservation error plus shock position: both physical checks.
+  r.checksum = (host.total_energy() - e0) / e0 + shock_position(host);
+  return r;
+}
+
+}  // namespace nvms

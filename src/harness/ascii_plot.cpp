@@ -1,0 +1,77 @@
+#include "harness/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+
+std::string ascii_plot(const std::vector<PlotSeries>& series,
+                       std::size_t width, std::size_t height) {
+  require(!series.empty(), "plot: need at least one series");
+  require(width >= 8 && height >= 4, "plot: canvas too small");
+
+  // Resample everything and find the global ranges.
+  std::vector<std::vector<double>> data;
+  double y_max = 0.0;
+  double t0 = 1e300;
+  double t1 = -1e300;
+  for (const auto& s : series) {
+    NVMS_ASSERT(s.series != nullptr, "plot series without data");
+    data.push_back(s.series->resample(width));
+    for (const double v : data.back()) y_max = std::max(y_max, v);
+    if (!s.series->empty()) {
+      t0 = std::min(t0, s.series->start());
+      t1 = std::max(t1, s.series->end());
+    }
+  }
+  if (y_max <= 0.0) y_max = 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double v = data[si][x];
+      if (v <= 0.0) continue;
+      const auto row = static_cast<std::size_t>(std::min(
+          static_cast<double>(height - 1),
+          std::floor(v / y_max * static_cast<double>(height - 1) + 0.5)));
+      canvas[height - 1 - row][x] = series[si].glyph;
+    }
+  }
+
+  std::string out;
+  char label[48];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y =
+        y_max * static_cast<double>(height - 1 - r) /
+        static_cast<double>(height - 1);
+    if (r % 4 == 0 || r + 1 == height) {
+      std::snprintf(label, sizeof label, "%7.1f |", y / GB);
+    } else {
+      std::snprintf(label, sizeof label, "        |");
+    }
+    out += label;
+    out += canvas[r];
+    out += '\n';
+  }
+  out += "        +";
+  out += std::string(width, '-');
+  out += '\n';
+  if (t1 > t0) {
+    std::snprintf(label, sizeof label, "GB/s     t = %.1f .. %.1f ms   ",
+                  t0 * 1e3, t1 * 1e3);
+    out += label;
+  }
+  for (const auto& s : series) {
+    out += " [";
+    out += s.glyph;
+    out += "] " + s.label;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace nvms

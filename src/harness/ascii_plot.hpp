@@ -1,0 +1,27 @@
+// ASCII bandwidth-trace plots, so the trace figures (4, 5, 7, 8, 9b)
+// render as actual curves in a terminal, not just number columns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simcore/time_series.hpp"
+
+namespace nvms {
+
+/// One labelled series to draw; all series share the time axis.
+struct PlotSeries {
+  std::string label;
+  const TimeSeries* series = nullptr;
+  char glyph = '*';
+};
+
+/// Render the series as a `width` x `height` character plot with a y-axis
+/// in GB/s and a shared time axis, followed by a legend.  Series are
+/// resampled to `width` columns; overlapping points show the later
+/// series' glyph.
+std::string ascii_plot(const std::vector<PlotSeries>& series,
+                       std::size_t width = 72, std::size_t height = 14);
+
+}  // namespace nvms

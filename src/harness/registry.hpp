@@ -1,0 +1,38 @@
+// Application registry and experiment runner.
+//
+// The registry exposes the paper's eight applications by name, in the
+// presentation order of Table III.  run_app() builds a fresh scaled
+// testbed MemorySystem for the requested mode and executes the app —
+// the core primitive every bench binary is built on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appfw/app.hpp"
+
+namespace nvms {
+
+/// The paper's eight applications in Table III order (ascending
+/// slowdown): hacc, laghos, scalapack, xsbench, hypre, superlu, boxlib,
+/// ft.  Benches iterate this list.
+const std::vector<std::string>& app_names();
+
+/// Extra applications shipped beyond the paper's eight (synthetic
+/// probes); runnable via lookup_app()/run_app() and the CLI.
+const std::vector<std::string>& extra_app_names();
+
+/// Look up an app by name; throws ConfigError for unknown names.
+const App& lookup_app(const std::string& name);
+
+/// Build the scaled testbed and run `name` on it.
+AppResult run_app(const std::string& name, Mode mode, const AppConfig& cfg);
+
+/// As run_app, but with a caller-customized system configuration (the
+/// mode field of `sys_cfg` is used as-is).
+AppResult run_app_on(const std::string& name, SystemConfig sys_cfg,
+                     const AppConfig& cfg);
+
+}  // namespace nvms

@@ -1,0 +1,72 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+struct Resampled {
+  double t0 = 0.0;
+  double bin = 0.0;
+  std::vector<double> dr, dw, nr, nw;
+};
+
+Resampled resample_all(const RunTraces& traces, std::size_t points) {
+  Resampled r;
+  r.dr = traces.dram_read.resample(points);
+  r.dw = traces.dram_write.resample(points);
+  r.nr = traces.nvm_read.resample(points);
+  r.nw = traces.nvm_write.resample(points);
+  const TimeSeries* any = nullptr;
+  for (const TimeSeries* s : {&traces.dram_read, &traces.nvm_read,
+                              &traces.dram_write, &traces.nvm_write}) {
+    if (!s->empty()) {
+      any = s;
+      break;
+    }
+  }
+  if (any != nullptr) {
+    r.t0 = any->start();
+    r.bin = (any->end() - any->start()) / static_cast<double>(points);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string render_trace_table(const RunTraces& traces, std::size_t points) {
+  const Resampled r = resample_all(traces, points);
+  TextTable t({"t (ms)", "DRAM rd", "DRAM wr", "NVM rd", "NVM wr"});
+  for (std::size_t i = 0; i < points; ++i) {
+    const double tm = (r.t0 + r.bin * (static_cast<double>(i) + 0.5)) * 1e3;
+    t.add_row({TextTable::num(tm, 2), TextTable::num(r.dr[i] / GB, 2),
+               TextTable::num(r.dw[i] / GB, 2), TextTable::num(r.nr[i] / GB, 2),
+               TextTable::num(r.nw[i] / GB, 2)});
+  }
+  return t.render();
+}
+
+std::string render_trace_csv(const RunTraces& traces, std::size_t points) {
+  const Resampled r = resample_all(traces, points);
+  std::string out = "t_s,dram_read_gbs,dram_write_gbs,nvm_read_gbs,nvm_write_gbs\n";
+  char row[160];
+  for (std::size_t i = 0; i < points; ++i) {
+    std::snprintf(row, sizeof row, "%.6f,%.3f,%.3f,%.3f,%.3f\n",
+                  r.t0 + r.bin * (static_cast<double>(i) + 0.5), r.dr[i] / GB,
+                  r.dw[i] / GB, r.nr[i] / GB, r.nw[i] / GB);
+    out += row;
+  }
+  return out;
+}
+
+std::string phase_share(const RunTraces& traces, const std::string& prefix) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%",
+                100.0 * traces.phase_time_fraction(prefix));
+  return buf;
+}
+
+}  // namespace nvms

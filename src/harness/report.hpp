@@ -1,0 +1,23 @@
+// Report helpers shared by the bench binaries: textual bandwidth-trace
+// rendering (the paper's trace figures as aligned columns / CSV).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/run_traces.hpp"
+
+namespace nvms {
+
+/// Render the four bandwidth series resampled to `points` rows:
+/// time, DRAM read/write, NVM read/write, all in GB/s.
+std::string render_trace_table(const RunTraces& traces, std::size_t points);
+
+/// Same data as CSV (for plotting).
+std::string render_trace_csv(const RunTraces& traces, std::size_t points);
+
+/// Fraction of run time spent in phases with the given name prefix,
+/// formatted as a percentage string.
+std::string phase_share(const RunTraces& traces, const std::string& prefix);
+
+}  // namespace nvms

@@ -1,0 +1,66 @@
+#include "harness/sweep.hpp"
+
+#include <cstdio>
+
+#include "harness/registry.hpp"
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+
+void SweepSpec::validate() const {
+  require(!app.empty(), "sweep: app name required");
+  require(!modes.empty() && !threads.empty() && !scales.empty(),
+          "sweep: every dimension needs at least one point");
+  for (const int t : threads) require(t >= 1, "sweep: threads must be >= 1");
+  for (const double s : scales)
+    require(s > 0.0, "sweep: scales must be positive");
+}
+
+std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
+  spec.validate();
+  (void)lookup_app(spec.app);  // fail fast on unknown apps
+  std::vector<SweepRow> rows;
+  for (const Mode mode : spec.modes) {
+    for (const int threads : spec.threads) {
+      for (const double scale : spec.scales) {
+        AppConfig cfg;
+        cfg.threads = threads;
+        cfg.size_scale = scale;
+        cfg.seed = spec.seed;
+        SweepRow row;
+        row.mode = mode;
+        row.threads = threads;
+        row.scale = scale;
+        try {
+          row.result = run_app(spec.app, mode, cfg);
+        } catch (const CapacityError&) {
+          continue;  // oversized for this mode: skip the row
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return rows;
+}
+
+std::string sweep_csv(const std::vector<SweepRow>& rows) {
+  std::string out =
+      "mode,threads,scale,runtime_s,fom,fom_unit,higher_is_better,"
+      "read_bw_gbs,write_bw_gbs,ipc,footprint_bytes\n";
+  char line[320];
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof line,
+                  "%s,%d,%.4g,%.9g,%.9g,%s,%d,%.4f,%.4f,%.4f,%llu\n",
+                  to_string(r.mode), r.threads, r.scale, r.result.runtime,
+                  r.result.fom, r.result.fom_unit.c_str(),
+                  r.result.higher_is_better ? 1 : 0,
+                  r.result.traces.avg_read_bw() / GB,
+                  r.result.traces.avg_write_bw() / GB, r.result.counters.ipc(),
+                  static_cast<unsigned long long>(r.result.footprint));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nvms

@@ -1,0 +1,41 @@
+// Structured experiment sweeps: the cartesian product of modes x threads
+// x problem scales for one application, with CSV export — the building
+// block behind the CLI `sweep` command and custom studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appfw/app.hpp"
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+struct SweepSpec {
+  std::string app;
+  std::vector<Mode> modes = {Mode::kDramOnly, Mode::kCachedNvm,
+                             Mode::kUncachedNvm};
+  std::vector<int> threads = {12, 24, 36, 48};
+  std::vector<double> scales = {1.0};
+  std::uint64_t seed = 7;
+
+  void validate() const;
+};
+
+struct SweepRow {
+  Mode mode = Mode::kDramOnly;
+  int threads = 0;
+  double scale = 1.0;
+  AppResult result;
+};
+
+/// Run the full cartesian product; rows are ordered mode-major, then
+/// threads, then scale.  Configurations that exceed a device capacity are
+/// skipped (the row is omitted) rather than aborting the sweep.
+std::vector<SweepRow> run_sweep(const SweepSpec& spec);
+
+/// CSV with one row per configuration: mode, threads, scale, runtime,
+/// FoM, bandwidths, IPC.
+std::string sweep_csv(const std::vector<SweepRow>& rows);
+
+}  // namespace nvms

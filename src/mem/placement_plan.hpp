@@ -1,0 +1,37 @@
+// A placement plan maps buffer names to explicit placements.  Produced by
+// the write-aware placement tool (Sec. V-B) from a profiling run, and
+// consumed by apps when allocating their data structures on uncached-NVM.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+class PlacementPlan {
+ public:
+  PlacementPlan() = default;
+
+  void set(const std::string& buffer_name, Placement p) {
+    by_name_[buffer_name] = p;
+  }
+
+  /// Placement for `buffer_name`; kAuto when the plan has no entry.
+  Placement lookup(const std::string& buffer_name) const {
+    const auto it = by_name_.find(buffer_name);
+    return it == by_name_.end() ? Placement::kAuto : it->second;
+  }
+
+  std::size_t size() const { return by_name_.size(); }
+  bool empty() const { return by_name_.empty(); }
+  const std::unordered_map<std::string, Placement>& entries() const {
+    return by_name_;
+  }
+
+ private:
+  std::unordered_map<std::string, Placement> by_name_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,24 @@
+#include "mem/space.hpp"
+
+namespace nvms {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kAuto:
+      return "auto";
+    case Placement::kDram:
+      return "dram";
+    case Placement::kNvm:
+      return "nvm";
+  }
+  return "?";
+}
+
+std::optional<Mode> parse_mode(const std::string& s) {
+  if (s == "dram-only" || s == "dram") return Mode::kDramOnly;
+  if (s == "cached-nvm" || s == "cached") return Mode::kCachedNvm;
+  if (s == "uncached-nvm" || s == "uncached") return Mode::kUncachedNvm;
+  return std::nullopt;
+}
+
+}  // namespace nvms

@@ -1,0 +1,21 @@
+// Naming and parsing helpers for memory modes and placements (used by the
+// harness CLI and report printers).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+const char* to_string(Placement p);
+
+/// Parse "dram-only" / "cached-nvm" / "uncached-nvm".
+std::optional<Mode> parse_mode(const std::string& s);
+
+/// All three modes in the paper's presentation order.
+inline constexpr Mode kAllModes[] = {Mode::kDramOnly, Mode::kCachedNvm,
+                                     Mode::kUncachedNvm};
+
+}  // namespace nvms

@@ -1,0 +1,31 @@
+#include "memsim/cpu.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+double CpuParams::core_equivalents(int threads) const {
+  const int t = std::clamp(threads, 1, max_threads());
+  if (t <= cores) return static_cast<double>(t);
+  return static_cast<double>(cores) +
+         ht_yield * static_cast<double>(t - cores);
+}
+
+double CpuParams::compute_time(double flops, int threads,
+                               double pfrac) const {
+  if (flops <= 0.0) return 0.0;
+  const double single = flops / (freq * flops_per_cycle);
+  const double speedup =
+      1.0 / ((1.0 - pfrac) + pfrac / core_equivalents(threads));
+  return single / speedup;
+}
+
+void CpuParams::validate() const {
+  require(cores > 0 && smt > 0, "cpu: cores and smt must be positive");
+  require(freq > 0 && flops_per_cycle > 0, "cpu: rates must be positive");
+  require(ht_yield >= 0.0 && ht_yield <= 1.0, "cpu: ht_yield in [0,1]");
+}
+
+}  // namespace nvms

@@ -1,0 +1,27 @@
+// CPU compute-time model: Amdahl scaling over physical cores with a
+// diminishing return for hyperthreads, matching the paper's 24-core (48 HT)
+// per-socket Cascade Lake testbed.
+#pragma once
+
+namespace nvms {
+
+struct CpuParams {
+  int cores = 24;        ///< physical cores per socket
+  int smt = 2;           ///< hardware threads per core
+  double freq = 2.4e9;   ///< Hz
+  double flops_per_cycle = 8.0;  ///< per core, sustained (not peak AVX-512)
+  double ht_yield = 0.3;         ///< extra throughput of the 2nd HW thread
+
+  int max_threads() const { return cores * smt; }
+
+  /// Effective core-equivalents at `threads` software threads.
+  double core_equivalents(int threads) const;
+
+  /// Time to execute `flops` useful flops at `threads` with Amdahl
+  /// parallel fraction `pfrac`.
+  double compute_time(double flops, int threads, double pfrac) const;
+
+  void validate() const;
+};
+
+}  // namespace nvms

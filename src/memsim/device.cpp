@@ -1,0 +1,139 @@
+#include "memsim/device.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+const char* to_string(DeviceKind k) {
+  return k == DeviceKind::kDram ? "DRAM" : "NVM";
+}
+
+double DeviceParams::read_capacity(PatClass cls, double threads) const {
+  double eff = 1.0;
+  switch (cls) {
+    case PatClass::kSeq:
+      eff = 1.0;
+      break;
+    case PatClass::kStrided:
+      eff = strided_read_eff;
+      break;
+    case PatClass::kRandSmall:
+      eff = random_small_read_eff;
+      break;
+    case PatClass::kRandLarge:
+      eff = random_large_read_eff;
+      break;
+  }
+  return read_bw_peak * eff * read_scaling.at(threads);
+}
+
+double DeviceParams::write_capacity(PatClass cls, double threads) const {
+  double eff = 1.0;
+  switch (cls) {
+    case PatClass::kSeq:
+      eff = 1.0;
+      break;
+    case PatClass::kStrided:
+      eff = strided_write_eff;
+      break;
+    case PatClass::kRandSmall:
+      // Sub-granularity random stores pay a read-modify-write in the media.
+      eff = random_small_write_eff;
+      break;
+    case PatClass::kRandLarge:
+      eff = random_large_write_eff;
+      break;
+  }
+  return write_bw_peak * eff * write_scaling.at(threads);
+}
+
+double DeviceParams::latency_limited_read_bw(double threads,
+                                             double mlp) const {
+  // Little's law: threads * mlp outstanding 64B misses, each taking the
+  // loaded random latency.
+  return threads * mlp * 64.0 / read_lat_rand;
+}
+
+void DeviceParams::validate() const {
+  require(capacity > 0, name + ": capacity must be positive");
+  require(read_bw_peak > 0 && write_bw_peak > 0,
+          name + ": peaks must be positive");
+  require(combined_bw_peak >= std::max(read_bw_peak, write_bw_peak),
+          name + ": combined peak below a directional peak");
+  require(read_lat_seq > 0 && read_lat_rand >= read_lat_seq,
+          name + ": latencies must satisfy 0 < seq <= rand");
+  require(throttle_alpha >= 0.0 && throttle_alpha < 1.0,
+          name + ": throttle_alpha must be in [0,1)");
+  require(media_granularity >= 64, name + ": media granularity below 64B");
+}
+
+DeviceParams ddr4_socket_params(std::uint64_t capacity) {
+  DeviceParams p;
+  p.kind = DeviceKind::kDram;
+  p.name = "ddr4";
+  p.capacity = capacity;
+  p.read_lat_seq = ns(81);
+  p.read_lat_rand = ns(101);
+  p.write_lat = ns(86);
+  p.read_bw_peak = gbps(105);
+  p.write_bw_peak = gbps(57);
+  p.combined_bw_peak = gbps(115);
+  p.strided_read_eff = 0.8;
+  p.random_small_read_eff = 0.62;
+  p.random_large_read_eff = 0.62;
+  p.strided_write_eff = 0.85;
+  p.random_small_write_eff = 0.6;
+  p.random_large_write_eff = 0.6;
+  p.media_granularity = 64;
+  // DDR4 reads/writes saturate around 8-10 cores and stay flat with HT.
+  p.read_scaling = ScalingCurve{{{1, 0.14}, {2, 0.27}, {4, 0.52}, {8, 0.88},
+                                 {12, 1.0}, {24, 1.0}, {48, 0.98}}};
+  p.write_scaling = ScalingCurve{{{1, 0.18}, {2, 0.34}, {4, 0.62}, {8, 0.92},
+                                  {12, 1.0}, {24, 1.0}, {48, 0.97}}};
+  p.throttle_alpha = 0.15;  // mild read/write interference on DDR
+  p.throttle_gamma = 4.0;
+  p.wpq_entries = 256;
+  p.wpq_seq_combining = 1.0;
+  return p;
+}
+
+DeviceParams optane_socket_params(std::uint64_t capacity) {
+  DeviceParams p;
+  p.kind = DeviceKind::kNvm;
+  p.name = "optane";
+  p.capacity = capacity;
+  p.read_lat_seq = ns(174);
+  p.read_lat_rand = ns(304);
+  p.write_lat = ns(190);  // 64-256B NT store, [12]
+  p.read_bw_peak = gbps(39);
+  p.write_bw_peak = gbps(13);
+  p.combined_bw_peak = gbps(40);
+  p.strided_read_eff = 0.6;
+  // 64B random requests read a full 256B media block: ~4x amplification,
+  // partially hidden by the DIMM buffer.
+  p.random_small_read_eff = 0.27;
+  // >=256B granules (e.g. xs-row reads) use the media block fully.
+  p.random_large_read_eff = 0.45;
+  p.strided_write_eff = 0.55;
+  p.random_small_write_eff = 0.2;
+  p.random_large_write_eff = 0.4;
+  p.media_granularity = 256;
+  // Reads scale to ~16 threads, then flatten with a slight decline.
+  p.read_scaling = ScalingCurve{{{1, 0.07}, {2, 0.14}, {4, 0.3}, {8, 0.62},
+                                 {16, 1.0}, {24, 0.98}, {36, 0.94},
+                                 {48, 0.9}}};
+  // Writes peak near 4 threads, then decline steeply: WPQ contention and
+  // lost combining opportunities (Sec. IV-D; [32]).
+  p.write_scaling = ScalingCurve{{{1, 0.5}, {2, 0.8}, {4, 1.0}, {8, 0.72},
+                                  {12, 0.5}, {16, 0.38}, {24, 0.26},
+                                  {36, 0.18}, {48, 0.15}}};
+  p.throttle_alpha = 0.9;
+  p.throttle_gamma = 4.0;
+  p.wpq_entries = 64;
+  p.wpq_seq_combining = 0.85;
+  return p;
+}
+
+}  // namespace nvms

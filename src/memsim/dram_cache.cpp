@@ -1,0 +1,199 @@
+#include "memsim/dram_cache.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+void CacheParams::validate() const {
+  require(line >= 64 && (line & (line - 1)) == 0,
+          "cache line must be a power of two >= 64");
+  require(capacity >= line, "cache capacity smaller than one line");
+  require(max_sets > 0, "cache max_sets must be positive");
+  require(conflict_knee >= 0.0 && conflict_knee <= 1.0,
+          "conflict_knee must be in [0,1]");
+  require(conflict_max >= 0.0 && conflict_max <= 1.0,
+          "conflict_max must be in [0,1]");
+}
+
+double CacheParams::conflict_rate(double occupancy) const {
+  if (occupancy <= conflict_knee) return 0.0;
+  const double x =
+      (occupancy - conflict_knee) / std::max(1.0 - conflict_knee, 1e-9);
+  const double clamped = std::min(x, 1.0);
+  return conflict_max * clamped * clamped;
+}
+
+CacheOutcome& CacheOutcome::operator+=(const CacheOutcome& o) {
+  dram_read += o.dram_read;
+  dram_write += o.dram_write;
+  nvm_read += o.nvm_read;
+  nvm_read_scattered += o.nvm_read_scattered;
+  nvm_write += o.nvm_write;
+  hits += o.hits;
+  misses += o.misses;
+  return *this;
+}
+
+DramCache::DramCache(const CacheParams& params)
+    : params_(params), rng_(params.seed) {
+  params_.validate();
+  sets_ = params_.capacity / params_.line;
+  sample_mod_ = 1;
+  while (sets_ / sample_mod_ > params_.max_sets) sample_mod_ *= 2;
+  tags_.assign(sets_ / sample_mod_, kEmpty);
+  dirty_.assign(tags_.size(), 0);
+}
+
+void DramCache::reset() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  valid_ = 0;
+}
+
+double DramCache::occupancy() const {
+  return tags_.empty()
+             ? 0.0
+             : static_cast<double>(valid_) / static_cast<double>(tags_.size());
+}
+
+CacheOutcome DramCache::touch(std::uint64_t line_addr, bool is_write) {
+  CacheOutcome out;
+  const std::uint64_t set = line_addr % sets_;
+  NVMS_ASSERT(set % sample_mod_ == 0, "touch on unsampled set");
+  const std::uint64_t slot = set / sample_mod_;
+  const std::uint64_t L = params_.line;
+  if (tags_[slot] == line_addr) {
+    out.hits = 1;
+    if (is_write) {
+      dirty_[slot] = 1;
+      out.dram_write = L;
+    } else {
+      out.dram_read = L;
+    }
+    return out;
+  }
+  out.misses = 1;
+  if (tags_[slot] != kEmpty && dirty_[slot]) {
+    // dirty eviction: read victim from DRAM, write it back to NVM
+    out.dram_read += L;
+    out.nvm_write += L;
+  }
+  if (tags_[slot] == kEmpty) ++valid_;
+  tags_[slot] = line_addr;
+  // allocate: fetch from NVM, fill into DRAM
+  out.nvm_read += L;
+  out.dram_write += L;
+  if (is_write) {
+    dirty_[slot] = 1;
+    out.dram_write += L;  // the store itself
+  } else {
+    dirty_[slot] = 0;
+    out.dram_read += L;  // the load consumes the filled line
+  }
+  return out;
+}
+
+CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
+                               std::uint64_t size) {
+  CacheOutcome total;
+  if (stream.bytes == 0 || size == 0) return total;
+  const std::uint64_t L = params_.line;
+  const std::uint64_t base_line = base / L;
+  const std::uint64_t lines_in_buf = std::max<std::uint64_t>(1, size / L);
+  const std::uint64_t touches =
+      std::max<std::uint64_t>(1, stream.bytes / L);
+  const bool is_write = stream.dir == Dir::kWrite;
+
+  CacheOutcome sampled;
+  std::uint64_t simulated = 0;
+  if (stream.pattern == Pattern::kRandom) {
+    // Sample touches/sample_mod uniform lines restricted to sampled sets.
+    const std::uint64_t n = std::max<std::uint64_t>(1, touches / sample_mod_);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t line = base_line + rng_.below(lines_in_buf);
+      // snap to a sampled set (preserves uniformity over sampled sets)
+      line -= (line % sets_) % sample_mod_;
+      sampled += touch(line, is_write);
+      ++simulated;
+    }
+  } else {
+    // Sequential / strided walks with temporal blocking: process the
+    // buffer in reuse_block-sized chunks, touching each chunk `reuse`
+    // times before advancing.  Distinct touches (bytes / reuse) are spread
+    // evenly over the buffer when the stream covers less than all of it
+    // (strided partial passes), so the whole buffer participates in cache
+    // occupancy.
+    const std::uint32_t reuse = std::max<std::uint32_t>(stream.reuse, 1);
+    const std::uint64_t distinct = std::max<std::uint64_t>(touches / reuse, 1);
+    const std::uint64_t block_lines =
+        std::max<std::uint64_t>(stream.reuse_block / L, 1);
+    const std::uint64_t stride =
+        distinct >= lines_in_buf
+            ? 1
+            : std::max<std::uint64_t>(1, lines_in_buf / distinct);
+    std::uint64_t visited = 0;
+    const std::uint64_t budget = (touches / sample_mod_) + 1;
+    for (std::uint64_t b = 0; b * block_lines < distinct && visited < budget;
+         ++b) {
+      const std::uint64_t in_block =
+          std::min(block_lines, distinct - b * block_lines);
+      for (std::uint32_t r = 0; r < reuse && visited < budget; ++r) {
+        for (std::uint64_t i = 0; i < in_block && visited < budget; ++i) {
+          const std::uint64_t line =
+              base_line + ((b * block_lines + i) * stride) % lines_in_buf;
+          if ((line % sets_) % sample_mod_ != 0) continue;
+          sampled += touch(line, is_write);
+          ++visited;
+        }
+      }
+    }
+    simulated = visited;
+  }
+
+  if (simulated == 0) return total;
+
+  // Conflict-miss model: at high occupancy, physically-scattered pages
+  // alias in the direct-mapped cache; convert a fraction of hits into
+  // misses with the corresponding fill/writeback traffic.  Hits produced
+  // by immediate temporal blocking (the `reuse` repeats) have a reuse
+  // distance of one block and are exempt — nothing evicts them that fast.
+  const double conflict = params_.conflict_rate(occupancy());
+  if (conflict > 0.0 && sampled.hits > 0) {
+    std::uint64_t exempt = 0;
+    if (stream.pattern != Pattern::kRandom && stream.reuse > 1) {
+      exempt = simulated * (stream.reuse - 1) / stream.reuse;
+      exempt = std::min(exempt, sampled.hits);
+    }
+    const auto moved = static_cast<std::uint64_t>(
+        static_cast<double>(sampled.hits - exempt) * conflict);
+    const std::uint64_t moved_bytes = moved * params_.line;
+    sampled.hits -= moved;
+    sampled.misses += moved;
+    sampled.nvm_read_scattered += moved_bytes;  // isolated line refetch
+    sampled.dram_write += moved_bytes;          // fill
+    if (is_write) {
+      // the displaced victim line was dirty in a write stream
+      sampled.nvm_write += moved_bytes;
+      sampled.dram_read += moved_bytes;  // victim read-out
+    }
+  }
+
+  // Scale sampled outcome up to the full touch count.
+  const double scale =
+      static_cast<double>(touches) / static_cast<double>(simulated);
+  auto sc = [scale](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+  };
+  total.dram_read = sc(sampled.dram_read);
+  total.dram_write = sc(sampled.dram_write);
+  total.nvm_read = sc(sampled.nvm_read);
+  total.nvm_read_scattered = sc(sampled.nvm_read_scattered);
+  total.nvm_write = sc(sampled.nvm_write);
+  total.hits = sc(sampled.hits);
+  total.misses = sc(sampled.misses);
+  return total;
+}
+
+}  // namespace nvms

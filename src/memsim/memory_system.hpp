@@ -1,0 +1,173 @@
+// MemorySystem: the simulated heterogeneous main memory of one socket of
+// the Intel Purley testbed.
+//
+// The three main-memory organizations evaluated by the paper are exposed as
+// modes:
+//   * kDramOnly    — everything resides in and is served by DRAM.
+//   * kCachedNvm   — "Memory mode": data lives in NVM, all accesses go
+//                    through the direct-mapped write-back DRAM cache.
+//   * kUncachedNvm — "AppDirect / NUMA mode": buffers live on the device
+//                    their placement selects (default NVM); DRAM holds only
+//                    explicitly placed buffers (write-aware placement).
+//
+// Apps register buffers, then submit phases; the system advances a virtual
+// clock, accumulates PCM-like counters, per-buffer traffic profiles, and
+// reconstructed bandwidth traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "memsim/counters.hpp"
+#include "memsim/cpu.hpp"
+#include "memsim/device.hpp"
+#include "memsim/dram_cache.hpp"
+#include "memsim/resolve.hpp"
+#include "simcore/units.hpp"
+#include "trace/phase.hpp"
+#include "trace/run_traces.hpp"
+
+namespace nvms {
+
+enum class Mode { kDramOnly, kCachedNvm, kUncachedNvm };
+const char* to_string(Mode m);
+
+/// Per-buffer placement directive (honoured in kUncachedNvm).
+enum class Placement { kAuto, kDram, kNvm };
+
+/// NUMA data-placement policy, the simulator's `numactl`: which socket's
+/// devices back the allocations.  The paper pins to the local socket
+/// ("all the experiments use the local socket to eliminate the severe
+/// NUMA effects"); the other policies exist for the NUMA ablation.
+enum class NumaPolicy { kLocalSocket, kRemoteSocket, kInterleave };
+const char* to_string(NumaPolicy p);
+
+struct SystemConfig {
+  Mode mode = Mode::kDramOnly;
+  DeviceParams dram = ddr4_socket_params(192 * MiB);
+  DeviceParams nvm = optane_socket_params(1536 * MiB);
+  CpuParams cpu;
+  std::uint64_t cache_line = 4 * KiB;  ///< simulated Memory-mode line
+  std::uint64_t cache_max_sets = 1u << 16;
+  std::uint64_t seed = 42;
+  /// Effective DRAM bandwidth multiplier in Memory mode (tag/metadata
+  /// overhead of the hardware-managed cache).
+  double cache_dram_derate = 0.92;
+  /// Access the NVM of the *remote* socket over UPI (the severe NUMA
+  /// effect the paper's experiments deliberately avoid; exposed for the
+  /// NUMA ablation bench).  Scales NVM bandwidth and adds hop latency.
+  bool remote_nvm = false;
+  double upi_bw_factor = 0.6;
+  double upi_extra_latency = 70e-9;
+  /// Socket topology: 1 (the default; the paper's local-socket setup) or
+  /// 2.  With two sockets the threads run on socket 0 and `numa_policy`
+  /// decides which socket's DRAM/NVM back the allocations; cross-socket
+  /// traffic shares the UPI link bandwidth and pays the hop latency.
+  int sockets = 1;
+  NumaPolicy numa_policy = NumaPolicy::kLocalSocket;
+  double upi_bw = 31.2e9;  ///< bytes/s (3 UPI links at 10.4 GT/s)
+  /// Throw CapacityError when an allocation exceeds the target device.
+  bool strict_capacity = true;
+
+  void validate() const;
+
+  /// Scaled default testbed: the paper's 192 GB DRAM / 1.5 TB NVM per
+  /// two-socket node, scaled by 1/1024 so footprint/DRAM *ratios* are
+  /// preserved while runs stay laptop-sized (documented in DESIGN.md).
+  static SystemConfig testbed(Mode mode);
+};
+
+struct BufferInfo {
+  BufferId id = kInvalidBuffer;
+  std::string name;
+  std::uint64_t bytes = 0;
+  Placement placement = Placement::kAuto;
+  std::uint64_t base = 0;  ///< simulator virtual address
+  /// Socket holding the allocation; -1 = interleaved across both.
+  int numa = 0;
+  bool live = false;
+};
+
+/// Per-buffer traffic profile (feeds the data-centric placement tool).
+struct BufferTraffic {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(SystemConfig config);
+
+  const SystemConfig& config() const { return config_; }
+  Mode mode() const { return config_.mode; }
+
+  // -- buffers ---------------------------------------------------------
+  BufferId register_buffer(std::string name, std::uint64_t bytes,
+                           Placement placement = Placement::kAuto);
+  void release_buffer(BufferId id);
+  const BufferInfo& buffer(BufferId id) const;
+  /// All buffers ever registered (released ones have live == false).
+  const std::vector<BufferInfo>& buffers() const { return buffers_; }
+  void set_placement(BufferId id, Placement placement);
+  std::uint64_t footprint() const { return footprint_; }
+  std::uint64_t peak_footprint() const { return peak_footprint_; }
+  /// Bytes currently resident in DRAM given the mode and placements.
+  std::uint64_t dram_resident() const;
+
+  // -- execution ---------------------------------------------------------
+  /// Simulate one phase: advances the clock and records traces/counters.
+  PhaseResolution submit(const Phase& phase);
+
+  /// Advance the clock by `seconds` of activity outside the memory system
+  /// (e.g. block-device I/O).  Recorded as a named zero-traffic phase.
+  void advance(const std::string& name, double seconds);
+
+  /// Observer invoked with every submitted phase (trace recording).
+  /// Pass nullptr to detach.
+  using PhaseObserver = std::function<void(const Phase&)>;
+  void set_phase_observer(PhaseObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  double now() const { return clock_; }
+  const RunTraces& traces() const { return traces_; }
+  const HwCounters& counters() const { return counters_; }
+  const BufferTraffic& traffic(BufferId id) const;
+
+  /// Clear clock, traces, counters and per-buffer traffic; optionally also
+  /// drop the DRAM-cache contents.
+  void reset_stats(bool drop_cache = false);
+
+ private:
+  /// Route one stream to per-device demands, consulting the cache in
+  /// kCachedNvm mode.  Returns bytes added per device for counter purposes.
+  void route_stream(const StreamDesc& s, std::vector<DeviceDemand>& lanes,
+                    double& upi_bytes);
+  void account_counters(const Phase& phase, double time, double compute_time,
+                        const std::vector<DeviceDemand>& lanes);
+  void check_capacity() const;
+  /// Lane index for (socket, device kind): socket*2 + (dram ? 0 : 1).
+  static std::size_t lane_of(int socket, bool dram) {
+    return static_cast<std::size_t>(socket) * 2 + (dram ? 0 : 1);
+  }
+
+  SystemConfig config_;
+  std::vector<BufferInfo> buffers_;
+  std::uint64_t next_base_ = 0;
+  std::vector<BufferTraffic> traffic_;
+  std::uint64_t footprint_ = 0;
+  std::uint64_t peak_footprint_ = 0;
+  DramCache cache_;
+  DeviceParams dram_effective_;  ///< DRAM params after Memory-mode derate
+  DeviceParams nvm_effective_;   ///< NVM params after NUMA adjustment
+  DeviceParams dram_remote_;     ///< socket-1 DRAM (UPI hop latency added)
+  DeviceParams nvm_remote_;      ///< socket-1 NVM
+  double clock_ = 0.0;
+  RunTraces traces_;
+  HwCounters counters_;
+  PhaseObserver observer_;
+};
+
+}  // namespace nvms

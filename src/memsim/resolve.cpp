@@ -1,0 +1,175 @@
+#include "memsim/resolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+namespace {
+
+constexpr std::array<PatClass, kNumPatClasses> kClasses = {
+    PatClass::kSeq, PatClass::kStrided, PatClass::kRandSmall,
+    PatClass::kRandLarge};
+
+bool is_random(PatClass c) {
+  return c == PatClass::kRandSmall || c == PatClass::kRandLarge;
+}
+
+/// Unthrottled time to service the read demand on one device.
+double read_time(const DeviceDemand& dem, const DeviceParams& dev,
+                 const Phase& phase) {
+  double t = 0.0;
+  for (const PatClass c : kClasses) {
+    const auto bytes = dem.read[static_cast<std::size_t>(c)];
+    if (bytes == 0) continue;
+    double cap = dev.read_capacity(c, phase.threads);
+    if (is_random(c)) {
+      cap = std::min(cap,
+                     dev.latency_limited_read_bw(phase.threads, phase.mlp));
+    }
+    NVMS_ASSERT(cap > 0.0, "zero read capacity");
+    t += static_cast<double>(bytes) / cap;
+  }
+  return t;
+}
+
+/// Time to service the write demand, and the aggregate drain capacity used
+/// for WPQ utilization.
+std::pair<double, double> write_time_and_drain(const DeviceDemand& dem,
+                                               const DeviceParams& dev,
+                                               const Phase& phase) {
+  double t = 0.0;
+  for (const PatClass c : kClasses) {
+    const auto bytes = dem.write[static_cast<std::size_t>(c)];
+    if (bytes == 0) continue;
+    const double cap = dev.write_capacity(c, phase.threads);
+    NVMS_ASSERT(cap > 0.0, "zero write capacity");
+    t += static_cast<double>(bytes) / cap;
+  }
+  const auto total = dem.write_total();
+  const double drain = (t > 0.0) ? static_cast<double>(total) / t
+                                 : dev.write_capacity(PatClass::kSeq,
+                                                      phase.threads);
+  return {t, drain};
+}
+
+}  // namespace
+
+MultiResolution resolve_lanes(const Phase& phase,
+                              const std::vector<LaneDemand>& lanes,
+                              const CpuParams& cpu, double upi_bytes,
+                              double upi_bw) {
+  require(phase.threads >= 1, "phase must use at least one thread");
+  require(phase.mlp > 0.0, "phase mlp must be positive");
+  require(phase.overlap >= 0.0 && phase.overlap <= 1.0,
+          "phase overlap must be in [0,1]");
+  require(phase.parallel_fraction >= 0.0 && phase.parallel_fraction <= 1.0,
+          "phase parallel fraction must be in [0,1]");
+  require(upi_bytes == 0.0 || upi_bw > 0.0,
+          "cross-socket traffic needs a positive UPI bandwidth");
+
+  MultiResolution res;
+  res.compute_time =
+      cpu.compute_time(phase.flops, phase.threads, phase.parallel_fraction);
+
+  struct DevState {
+    const DeviceDemand* dem;
+    const DeviceParams* dev;
+    double rt = 0.0;     // unthrottled read time
+    double wt = 0.0;     // write time
+    double drain = 0.0;  // aggregate write drain capacity
+    double f = 1.0;      // current read-throttle factor
+    double util = 0.0;
+  };
+  std::vector<DevState> ds;
+  ds.reserve(lanes.size());
+  for (const auto& lane : lanes) {
+    NVMS_ASSERT(lane.dev != nullptr, "lane without a device");
+    DevState d{&lane.dem, lane.dev};
+    d.rt = read_time(*d.dem, *d.dev, phase);
+    std::tie(d.wt, d.drain) = write_time_and_drain(*d.dem, *d.dev, phase);
+    ds.push_back(d);
+  }
+  const double upi_time = upi_bytes > 0.0 ? upi_bytes / upi_bw : 0.0;
+
+  auto mem_time = [&](void) {
+    double t = upi_time;
+    for (const auto& d : ds) {
+      const double tr = (d.f > 0.0) ? d.rt / d.f : 1e300;
+      // Reads and writes proceed concurrently, but share the channel
+      // budget: the combined ceiling binds when both directions are hot.
+      const double combined =
+          static_cast<double>(d.dem->read_total() + d.dem->write_total()) /
+          d.dev->combined_bw_peak;
+      t = std::max(t, std::max({tr, d.wt, combined}));
+    }
+    return t;
+  };
+
+  // Damped fixed point on the throttle factors.
+  double T = std::max(res.compute_time, mem_time());
+  for (int iter = 0; iter < 64; ++iter) {
+    for (auto& d : ds) {
+      const double wbytes = static_cast<double>(d.dem->write_total());
+      const double demand_bw = (T > 0.0) ? wbytes / T : 0.0;
+      const WpqModel wpq{d.dev->wpq_entries, d.dev->wpq_seq_combining};
+      d.util = wpq.utilization(demand_bw, d.drain);
+      const double target_f =
+          1.0 - d.dev->throttle_alpha *
+                    std::pow(d.util, d.dev->throttle_gamma);
+      d.f = 0.5 * d.f + 0.5 * std::max(target_f, 1e-3);
+    }
+    const double tm = mem_time();
+    double new_T;
+    if (phase.overlap >= 1.0) {
+      new_T = std::max(res.compute_time, tm);
+    } else {
+      new_T = std::max(res.compute_time, tm) +
+              (1.0 - phase.overlap) * std::min(res.compute_time, tm);
+    }
+    if (std::abs(new_T - T) < 1e-9 * std::max(1.0, T) && iter > 4) {
+      T = new_T;
+      break;
+    }
+    T = 0.5 * T + 0.5 * new_T;
+  }
+
+  res.time = T;
+  res.lanes.resize(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const DevState& d = ds[i];
+    DeviceTiming& out = res.lanes[i];
+    out.read_time = d.rt;
+    out.write_time = d.wt;
+    out.wpq_util = d.util;
+    out.throttle = d.f;
+    if (T > 0.0) {
+      out.read_bw = static_cast<double>(d.dem->read_total()) / T;
+      out.write_bw = static_cast<double>(d.dem->write_total()) / T;
+    }
+  }
+  return res;
+}
+
+PhaseResolution resolve_phase(const Phase& phase, const DeviceDemand& dram_dem,
+                              const DeviceDemand& nvm_dem,
+                              const DeviceParams& dram,
+                              const DeviceParams& nvm, const CpuParams& cpu) {
+  std::vector<LaneDemand> lanes(2);
+  lanes[0].dem = dram_dem;
+  lanes[0].dev = &dram;
+  lanes[1].dem = nvm_dem;
+  lanes[1].dev = &nvm;
+  const MultiResolution multi = resolve_lanes(phase, lanes, cpu);
+  PhaseResolution res;
+  res.time = multi.time;
+  res.compute_time = multi.compute_time;
+  res.dram = multi.lanes[0];
+  res.nvm = multi.lanes[1];
+  return res;
+}
+
+}  // namespace nvms

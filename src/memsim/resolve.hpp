@@ -1,0 +1,92 @@
+// Phase timing resolution.
+//
+// Given the per-device byte demands of a phase, compute the phase duration
+// and the achieved read/write bandwidths under:
+//   (1) per-pattern, per-concurrency device capacities,
+//   (2) latency-limited random-read bandwidth (Little's law, phase MLP),
+//   (3) WPQ-utilization-driven write throttling of reads (Sec. IV-C),
+//   (4) roofline overlap of compute and memory time.
+//
+// The coupling makes the system self-referential (achieved write rate
+// depends on duration, which depends on read throttling, which depends on
+// write-queue utilization); a damped fixed point resolves it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "memsim/cpu.hpp"
+#include "memsim/device.hpp"
+#include "memsim/wpq.hpp"
+#include "trace/phase.hpp"
+
+namespace nvms {
+
+/// Byte demands routed to one device, split by access class
+/// (indexed by static_cast<int>(PatClass)).
+struct DeviceDemand {
+  std::array<std::uint64_t, kNumPatClasses> read{};
+  std::array<std::uint64_t, kNumPatClasses> write{};
+
+  std::uint64_t read_total() const {
+    return read[0] + read[1] + read[2] + read[3];
+  }
+  std::uint64_t write_total() const {
+    return write[0] + write[1] + write[2] + write[3];
+  }
+
+  void add(PatClass c, Dir d, std::uint64_t bytes) {
+    auto& arr = (d == Dir::kRead) ? read : write;
+    arr[static_cast<std::size_t>(c)] += bytes;
+  }
+  void add(Pattern p, Dir d, std::uint64_t bytes,
+           std::uint64_t granule = 64) {
+    add(classify(p, granule), d, bytes);
+  }
+};
+
+/// Resolution result for one device.
+struct DeviceTiming {
+  double read_time = 0.0;   ///< unthrottled time to move the reads
+  double write_time = 0.0;  ///< time to move the writes
+  double read_bw = 0.0;     ///< achieved over the phase duration
+  double write_bw = 0.0;
+  double wpq_util = 0.0;
+  double throttle = 1.0;    ///< read multiplier actually applied
+};
+
+struct PhaseResolution {
+  double time = 0.0;          ///< phase duration, seconds
+  double compute_time = 0.0;  ///< pure compute component
+  DeviceTiming dram;
+  DeviceTiming nvm;
+};
+
+/// One device "lane" in a multi-device resolution (e.g. socket-0 DRAM,
+/// socket-0 NVM, socket-1 DRAM, socket-1 NVM).
+struct LaneDemand {
+  DeviceDemand dem;
+  const DeviceParams* dev = nullptr;
+};
+
+struct MultiResolution {
+  double time = 0.0;
+  double compute_time = 0.0;
+  std::vector<DeviceTiming> lanes;
+};
+
+/// General N-lane resolution: every lane is resolved under the same fixed
+/// point as resolve_phase; `upi_bytes` crossing the socket interconnect
+/// add a shared-link constraint time >= upi_bytes / upi_bw.
+MultiResolution resolve_lanes(const Phase& phase,
+                              const std::vector<LaneDemand>& lanes,
+                              const CpuParams& cpu, double upi_bytes = 0.0,
+                              double upi_bw = 0.0);
+
+PhaseResolution resolve_phase(const Phase& phase, const DeviceDemand& dram_dem,
+                              const DeviceDemand& nvm_dem,
+                              const DeviceParams& dram,
+                              const DeviceParams& nvm, const CpuParams& cpu);
+
+}  // namespace nvms

@@ -1,0 +1,41 @@
+#include "memsim/scaling_curve.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+ScalingCurve::ScalingCurve(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  require(!points_.empty(), "scaling curve needs at least one point");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    require(points_[i].first > points_[i - 1].first,
+            "scaling curve points must be strictly increasing in threads");
+  }
+  for (const auto& [t, f] : points_) {
+    require(t >= 0.0 && f >= 0.0, "scaling curve points must be nonnegative");
+  }
+}
+
+double ScalingCurve::at(double threads) const {
+  if (threads <= points_.front().first) return points_.front().second;
+  if (threads >= points_.back().first) return points_.back().second;
+  // binary search for the bracketing interval
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), threads,
+      [](double t, const std::pair<double, double>& p) { return t < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (threads - lo.first) / (hi.first - lo.first);
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+double ScalingCurve::argmax() const {
+  const auto it = std::max_element(
+      points_.begin(), points_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return it->first;
+}
+
+}  // namespace nvms

@@ -1,0 +1,32 @@
+// Bandwidth-vs-concurrency scaling curves.
+//
+// The central empirical fact behind the paper's "concurrency contention"
+// findings (Sec. IV-D) is that Optane write bandwidth *peaks at a small
+// number of writer threads and then declines* (WPQ contention / reduced
+// write combining), while read bandwidth keeps scaling to a much higher
+// thread count.  We model each as a piecewise-linear curve mapping thread
+// count -> fraction of device peak bandwidth.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace nvms {
+
+class ScalingCurve {
+ public:
+  /// Points are (threads, fraction-of-peak); must be sorted by threads and
+  /// non-empty.  Evaluation clamps outside the covered range.
+  explicit ScalingCurve(std::vector<std::pair<double, double>> points);
+
+  /// Fraction of peak bandwidth achievable at `threads` concurrent issuers.
+  double at(double threads) const;
+
+  /// Thread count with the maximum fraction (the curve's sweet spot).
+  double argmax() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace nvms

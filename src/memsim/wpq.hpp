@@ -1,0 +1,37 @@
+// Write Pending Queue (WPQ) occupancy model.
+//
+// The Optane DIMM controller buffers stores in a small WPQ that combines
+// adjacent writes into 256B media transactions.  When the demanded write
+// rate approaches the drain capability, the queue fills, new stores stall,
+// and — because loads and stores share controller resources — reads are
+// throttled as well (the paper's "write throttling effect", Sec. IV-C).
+//
+// This model turns (demand rate, drain capacity) into a steady-state
+// utilization, which the resolver feeds into the read-throttle coupling.
+#pragma once
+
+#include <algorithm>
+
+namespace nvms {
+
+struct WpqModel {
+  int entries = 64;
+  double seq_combining = 0.85;  ///< fraction of seq stores absorbed by merge
+
+  /// Steady-state utilization of the queue in [0,1]:  an M/D/1-flavoured
+  /// saturation curve of the demand/drain ratio `rho`, sharpened so that
+  /// low write rates leave the queue almost empty (Laghos stays healthy at
+  /// 1.3 GB/s) while rates near capacity pin it at 1 (SuperLU stage 1).
+  double utilization(double demand_bw, double drain_bw) const {
+    if (drain_bw <= 0.0) return demand_bw > 0.0 ? 1.0 : 0.0;
+    const double rho = demand_bw / drain_bw;
+    if (rho >= 1.0) return 1.0;
+    // queue-length based utilization: L = rho^2/(1-rho) for M/D/1-ish;
+    // normalize against the queue depth.
+    const double ql = rho * rho / (1.0 - rho);
+    const double cap = static_cast<double>(std::max(entries, 1));
+    return std::min(1.0, std::max(rho * 0.5, ql / (ql + cap * 0.05)));
+  }
+};
+
+}  // namespace nvms

@@ -1,0 +1,91 @@
+#include "model/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matrix multiply shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  return c;
+}
+
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x) {
+  require(a.cols() == x.size(), "matvec shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  require(a.rows() == a.cols() && a.rows() == b.size(),
+          "solve: need square system");
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    // partial pivot
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a(i, k)) > std::abs(a(piv, k))) piv = i;
+    if (std::abs(a(piv, k)) < 1e-12)
+      throw Error("solve: singular (or near-singular) system");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / a(k, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) a(i, j) -= f * a(k, j);
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  require(a.rows() == a.cols(), "inverse: need square matrix");
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  // Solve A x = e_i per column.
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    const auto col = solve(a, std::move(e));
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace nvms

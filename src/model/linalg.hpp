@@ -1,0 +1,47 @@
+// Minimal dense linear algebra for the prediction model: row-major
+// matrices, Gaussian elimination with partial pivoting, and the normal
+// equations.  Small and exact — the regression problems here have a
+// handful of features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvms {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transposed() const;
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(const Matrix& a, const Matrix& b);
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x);
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws Error for singular systems.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Inverse via Gauss-Jordan (used for coefficient covariance / t-stats).
+Matrix inverse(const Matrix& a);
+
+}  // namespace nvms

@@ -1,0 +1,144 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+std::vector<PhaseFeature> aggregate_by_phase(
+    const std::vector<CounterSample>& samples) {
+  std::map<std::string, HwCounters> by_phase;
+  for (const auto& s : samples) by_phase[s.phase] += s.delta;
+  std::vector<PhaseFeature> out;
+  out.reserve(by_phase.size());
+  for (const auto& [phase, counters] : by_phase) {
+    PhaseFeature f;
+    f.phase = phase;
+    f.events = counters.events();
+    f.ipc = counters.ipc();
+    f.instructions = counters.instructions;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+namespace {
+
+/// Eq. 1 features: the six Table IV events, scaled by the sampled IPC.
+/// Counts are normalized per retired instruction (and stall counts per
+/// active cycle) so that phases of different lengths and applications of
+/// different scales become comparable — raw counts span many orders of
+/// magnitude and do not transfer across applications.
+std::array<double, 6> critical_features(const std::array<double, 6>& events,
+                                        double sampled_ipc) {
+  const double insns = std::max(events[0], 1.0);
+  const double cycles = std::max(events[1], 1.0);
+  return {
+      sampled_ipc,                      // p0/p1 (the sampled IPC)
+      std::log1p(insns),                // problem scale
+      events[2] / cycles,               // stall ratio
+      events[3] / cycles,               // offcore wait ratio
+      events[4] * 64.0 / insns,         // read bytes per instruction
+      events[5] * 64.0 / insns,         // write bytes per instruction
+  };
+}
+
+}  // namespace
+
+std::vector<double> IpcPredictor::make_row(
+    const std::array<double, 6>& events, double sampled_ipc) const {
+  const auto f = critical_features(events, sampled_ipc);
+  std::vector<double> row;
+  row.reserve(f.size());
+  for (std::size_t j = 0; j < f.size(); ++j) {
+    if (!active_.empty() && !active_[j]) continue;
+    row.push_back(f[j]);
+  }
+  return row;
+}
+
+void IpcPredictor::fit(const std::vector<TrainingRow>& rows,
+                       double p_threshold) {
+  require(!rows.empty(), "predictor: empty training set");
+  constexpr std::size_t kF = 6;
+
+  auto build = [&](const std::vector<bool>& mask) {
+    std::size_t f = 0;
+    for (bool b : mask) f += b;
+    Matrix x(rows.size(), f);
+    std::vector<double> y(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto feats =
+          critical_features(rows[i].events, rows[i].sampled_ipc);
+      std::size_t c = 0;
+      for (std::size_t j = 0; j < kF; ++j) {
+        if (!mask[j]) continue;
+        x(i, c++) = feats[j];
+      }
+      // Fit the IPC *scaling factor* target/sampled: bounded and far more
+      // linear across heterogeneous applications than the absolute IPC
+      // (Eq. 1 up to division by IPC_s).
+      y[i] = rows[i].target_ipc / std::max(rows[i].sampled_ipc, 1e-9);
+    }
+    return std::pair{std::move(x), std::move(y)};
+  };
+
+  // First fit with all six events.
+  std::vector<bool> mask(kF, true);
+  {
+    auto [x, y] = build(mask);
+    reg_.fit(x, y);
+  }
+  // Prune features whose p-value exceeds the threshold (keep at least two).
+  const auto& p = reg_.report().p_values;
+  std::vector<std::size_t> order(kF);
+  for (std::size_t j = 0; j < kF; ++j) order[j] = j;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return p[a] < p[b]; });
+  std::vector<bool> pruned(kF, false);
+  std::size_t kept = 0;
+  for (std::size_t j : order) {
+    if (p[j] <= p_threshold || kept < 2) {
+      pruned[j] = true;
+      ++kept;
+    }
+  }
+  if (kept < kF) {
+    auto [x, y] = build(pruned);
+    reg_.fit(x, y);
+    active_ = pruned;
+  } else {
+    active_ = mask;
+  }
+}
+
+double IpcPredictor::predict(const std::array<double, 6>& events,
+                             double sampled_ipc) const {
+  require(reg_.fitted(), "predictor: predict before fit");
+  const double factor = reg_.predict_row(make_row(events, sampled_ipc));
+  return std::max(factor * sampled_ipc, 1e-3);  // IPC is positive
+}
+
+double prediction_accuracy(double predicted, double observed) {
+  if (observed == 0.0) return 0.0;
+  return 1.0 - std::abs(predicted - observed) / std::abs(observed);
+}
+
+double combine_phase_ipcs(const std::vector<double>& instructions,
+                          const std::vector<double>& phase_ipcs) {
+  require(instructions.size() == phase_ipcs.size(),
+          "combine: arity mismatch");
+  double total_i = 0.0;
+  double total_c = 0.0;
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    require(phase_ipcs[i] > 0.0, "combine: nonpositive phase IPC");
+    total_i += instructions[i];
+    total_c += instructions[i] / phase_ipcs[i];
+  }
+  return total_c > 0.0 ? total_i / total_c : 0.0;
+}
+
+}  // namespace nvms

@@ -1,0 +1,77 @@
+// IPC prediction model (Sec. V-A, Eq. 1).
+//
+// The model estimates application IPC at an unobserved configuration
+// (different concurrency or data size) from hardware events collected at a
+// single *sampled* configuration:
+//
+//     IPC_p = sum_i beta_i * (N_e_i * IPC_s) + sigma        (Eq. 1)
+//
+// Features are the six Table IV events scaled by the sampled IPC and
+// z-normalized; coefficients come from multivariate linear regression over
+// a training corpus, after pruning weak predictors by p-value (the
+// "critical event" selection).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/regression.hpp"
+#include "prof/sample.hpp"
+
+namespace nvms {
+
+/// Event vector + IPC of one (application, phase-type) at one config,
+/// aggregated over all dynamic instances of the phase.
+struct PhaseFeature {
+  std::string phase;
+  std::array<double, 6> events{};  ///< Table IV order
+  double ipc = 0.0;
+  double instructions = 0.0;
+};
+
+/// Aggregate per-phase counter samples by phase name.
+std::vector<PhaseFeature> aggregate_by_phase(
+    const std::vector<CounterSample>& samples);
+
+/// One training example: events observed at the sampled configuration,
+/// and the IPC observed at the target configuration.
+struct TrainingRow {
+  std::array<double, 6> events{};
+  double sampled_ipc = 0.0;
+  double target_ipc = 0.0;
+};
+
+class IpcPredictor {
+ public:
+  /// Fit Eq. 1 on the corpus; features with p-value above `p_threshold`
+  /// are pruned and the model is re-fit on the survivors.
+  void fit(const std::vector<TrainingRow>& rows, double p_threshold = 0.5);
+
+  /// Predict IPC at the target configuration from sampled-config events.
+  double predict(const std::array<double, 6>& events,
+                 double sampled_ipc) const;
+
+  bool fitted() const { return reg_.fitted(); }
+  const RegressionReport& report() const { return reg_.report(); }
+  /// Which of the six features survived pruning.
+  const std::vector<bool>& active() const { return active_; }
+
+ private:
+  std::vector<double> make_row(const std::array<double, 6>& events,
+                               double sampled_ipc) const;
+
+  LinearRegression reg_{1e-6};
+  std::vector<bool> active_;
+};
+
+/// Prediction accuracy as the paper reports it: 1 - |pred - obs| / obs.
+double prediction_accuracy(double predicted, double observed);
+
+/// Predict the whole-run IPC of an app from per-phase predictions, using
+/// the (configuration-invariant) instruction mix as weights:
+///   IPC_run = sum(I_p) / sum(I_p / IPC_p).
+double combine_phase_ipcs(const std::vector<double>& instructions,
+                          const std::vector<double>& phase_ipcs);
+
+}  // namespace nvms

@@ -1,0 +1,176 @@
+#include "model/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+void StandardScaler::fit(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  require(n > 0, "scaler: empty design matrix");
+  mean_.assign(f, 0.0);
+  std_.assign(f, 0.0);
+  for (std::size_t j = 0; j < f; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += x(i, j);
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x(i, j) - m;
+      v += d * d;
+    }
+    mean_[j] = m;
+    std_[j] = std::sqrt(v / static_cast<double>(std::max<std::size_t>(n - 1, 1)));
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  require(x.cols() == mean_.size(), "scaler: feature arity mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double s = std_[j];
+      out(i, j) = s > 1e-300 ? (x(i, j) - mean_[j]) / s : 0.0;
+    }
+  return out;
+}
+
+RegressionReport LinearRegression::fit(const Matrix& x,
+                                       const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  require(n == y.size(), "regression: X/y row mismatch");
+  require(n > f + 1, "regression: need more samples than features");
+
+  scaler_.fit(x);
+  const Matrix xs = scaler_.transform(x);
+
+  // Design matrix with intercept column.
+  Matrix d(n, f + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, 0) = 1.0;
+    for (std::size_t j = 0; j < f; ++j) d(i, j + 1) = xs(i, j);
+  }
+  // Normal equations with ridge on the non-intercept block.
+  Matrix dtd = d.transposed() * d;
+  for (std::size_t j = 1; j <= f; ++j) dtd(j, j) += ridge_;
+  std::vector<double> dty(f + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= f; ++j) dty[j] += d(i, j) * y[i];
+
+  const Matrix dtd_inv = inverse(dtd);
+  const auto beta = dtd_inv * dty;
+
+  report_ = RegressionReport{};
+  report_.intercept = beta[0];
+  report_.coefficients.assign(beta.begin() + 1, beta.end());
+
+  // Residuals, R^2, t-stats.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = beta[0];
+    for (std::size_t j = 0; j < f; ++j) pred += beta[j + 1] * xs(i, j);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  report_.r2 = ss_tot > 1e-300 ? 1.0 - ss_res / ss_tot : 1.0;
+
+  const std::size_t dof = n - f - 1;
+  const double sigma2 = ss_res / static_cast<double>(std::max<std::size_t>(dof, 1));
+  report_.t_stats.resize(f);
+  report_.p_values.resize(f);
+  for (std::size_t j = 0; j < f; ++j) {
+    const double se = std::sqrt(std::max(sigma2 * dtd_inv(j + 1, j + 1), 1e-300));
+    report_.t_stats[j] = report_.coefficients[j] / se;
+    report_.p_values[j] = t_test_p_value(report_.t_stats[j], dof);
+  }
+  fitted_ = true;
+  return report_;
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  require(fitted_, "regression: predict before fit");
+  const Matrix xs = scaler_.transform(x);
+  std::vector<double> out(x.rows(), report_.intercept);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < xs.cols(); ++j)
+      out[i] += report_.coefficients[j] * xs(i, j);
+  return out;
+}
+
+double LinearRegression::predict_row(const std::vector<double>& row) const {
+  Matrix x(1, row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) x(0, j) = row[j];
+  return predict(x)[0];
+}
+
+// ---- Student t p-values ------------------------------------------------
+
+namespace {
+
+double beta_cf(double a, double b, double x) {
+  // Lentz continued fraction for the incomplete beta function.
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  require(x >= 0.0 && x <= 1.0, "incomplete_beta: x outside [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double t_test_p_value(double t, std::size_t dof) {
+  if (dof == 0) return 1.0;
+  const double v = static_cast<double>(dof);
+  const double x = v / (v + t * t);
+  return incomplete_beta(v / 2.0, 0.5, x);
+}
+
+}  // namespace nvms

@@ -1,0 +1,67 @@
+// Multivariate linear regression with z-score standardization, ridge
+// stabilization, and per-coefficient t-statistics / p-values — the
+// statistical machinery of the paper's Sec. V-A (critical-event selection
+// prunes features with high p-values, then Eq. 1 is fit by multivariate
+// linear regression over normalized features).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/linalg.hpp"
+
+namespace nvms {
+
+/// Per-feature standardization to zero mean / unit variance.
+class StandardScaler {
+ public:
+  /// Learn mean and stddev per column of X.
+  void fit(const Matrix& x);
+  /// Apply the learned transform (constant columns map to zero).
+  Matrix transform(const Matrix& x) const;
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stddevs() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+struct RegressionReport {
+  std::vector<double> coefficients;  ///< per feature (standardized space)
+  double intercept = 0.0;
+  double r2 = 0.0;
+  std::vector<double> t_stats;   ///< per feature
+  std::vector<double> p_values;  ///< two-sided, per feature
+};
+
+class LinearRegression {
+ public:
+  /// Ridge parameter stabilizes nearly-collinear event counts.
+  explicit LinearRegression(double ridge = 1e-8) : ridge_(ridge) {}
+
+  /// Fit y ~ X (with intercept); X is standardized internally.
+  RegressionReport fit(const Matrix& x, const std::vector<double>& y);
+
+  /// Predict for new rows (same feature layout as fit).
+  std::vector<double> predict(const Matrix& x) const;
+  double predict_row(const std::vector<double>& row) const;
+
+  bool fitted() const { return fitted_; }
+  const RegressionReport& report() const { return report_; }
+
+ private:
+  double ridge_;
+  bool fitted_ = false;
+  StandardScaler scaler_;
+  RegressionReport report_;
+};
+
+/// Two-sided p-value for a t-statistic with `dof` degrees of freedom.
+double t_test_p_value(double t, std::size_t dof);
+
+/// Regularized incomplete beta function I_x(a, b) (for the t CDF).
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace nvms

@@ -1,0 +1,53 @@
+#include "placement/write_aware.hpp"
+
+#include <algorithm>
+
+namespace nvms {
+namespace {
+
+WriteAwareResult greedy(const std::vector<BufferProfile>& sorted,
+                        std::uint64_t dram_budget, bool use_writes) {
+  WriteAwareResult out;
+  for (const auto& p : sorted) {
+    out.total_bytes += p.bytes;
+    const auto key_bytes = use_writes ? p.write_bytes : p.read_bytes;
+    if (key_bytes == 0) continue;
+    if (out.dram_bytes + p.bytes > dram_budget) continue;
+    out.dram_bytes += p.bytes;
+    out.in_dram.push_back(p.name);
+    out.plan.set(p.name, Placement::kDram);
+  }
+  return out;
+}
+
+}  // namespace
+
+WriteAwareResult write_aware_plan(const std::vector<BufferProfile>& profiles,
+                                  std::uint64_t dram_budget) {
+  // collect_data_profile sorts by write intensity already; re-sorting here
+  // keeps the function correct for arbitrary input order.
+  std::vector<BufferProfile> sorted = profiles;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.write_intensity() != b.write_intensity())
+      return a.write_intensity() > b.write_intensity();
+    return a.name < b.name;
+  });
+  return greedy(sorted, dram_budget, /*use_writes=*/true);
+}
+
+WriteAwareResult read_aware_plan(std::vector<BufferProfile> profiles,
+                                 std::uint64_t dram_budget,
+                                 const std::vector<std::string>& exclude) {
+  std::erase_if(profiles, [&](const BufferProfile& p) {
+    return std::find(exclude.begin(), exclude.end(), p.name) != exclude.end();
+  });
+  std::sort(profiles.begin(), profiles.end(),
+            [](const auto& a, const auto& b) {
+              if (a.read_intensity() != b.read_intensity())
+                return a.read_intensity() > b.read_intensity();
+              return a.name < b.name;
+            });
+  return greedy(profiles, dram_budget, /*use_writes=*/false);
+}
+
+}  // namespace nvms

@@ -1,0 +1,39 @@
+// Write-aware data placement (Sec. V-B).
+//
+// Given per-buffer traffic profiles from a data-centric profiling run, the
+// planner keeps the most write-intensive data structures in DRAM under a
+// DRAM byte budget and leaves the rest on NVM.  On uncached-NVM this
+// removes the write-throttling bottleneck while reads keep scaling from
+// NVM — the paper demonstrates 2x improvement in ScaLAPACK using only
+// ~30% of the DRAM (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/placement_plan.hpp"
+#include "prof/data_profile.hpp"
+
+namespace nvms {
+
+struct WriteAwareResult {
+  PlacementPlan plan;
+  std::uint64_t dram_bytes = 0;      ///< bytes placed in DRAM
+  std::uint64_t total_bytes = 0;     ///< profiled footprint
+  std::vector<std::string> in_dram;  ///< chosen buffer names
+};
+
+/// Greedy knapsack by write intensity: profiles must be the output of
+/// collect_data_profile (sorted by descending write intensity).  Buffers
+/// with zero write traffic are never promoted.
+WriteAwareResult write_aware_plan(const std::vector<BufferProfile>& profiles,
+                                  std::uint64_t dram_budget);
+
+/// The validation counterpart used by the paper: promote the most
+/// READ-intensive of the *other* structures (those the write-aware plan
+/// did not select); expected to show little benefit.
+WriteAwareResult read_aware_plan(std::vector<BufferProfile> profiles,
+                                 std::uint64_t dram_budget,
+                                 const std::vector<std::string>& exclude = {});
+
+}  // namespace nvms

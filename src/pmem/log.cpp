@@ -1,0 +1,205 @@
+#include "pmem/log.hpp"
+
+#include <cstring>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+namespace {
+
+using namespace pmemlog;
+
+void put_u64(PmemRegion& region, std::size_t offset, std::uint64_t v) {
+  std::byte buf[8];
+  std::memcpy(buf, &v, 8);
+  region.store(offset, {buf, 8});
+}
+
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t offset) {
+  require(offset + 8 <= bytes.size(), "pmem log: truncated u64");
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+void set_state(PmemRegion& log, std::uint8_t state, int threads = 1) {
+  const std::byte b{state};
+  log.store(kStateOffset, {&b, 1});
+  log.persist_range(kStateOffset, 1, threads);
+}
+
+std::uint8_t persisted_state(const PmemRegion& log) {
+  return static_cast<std::uint8_t>(log.persisted_data()[kStateOffset]);
+}
+
+/// Append one record at the current end; returns the new end offset.
+/// Record layout: u64 offset, u64 len, payload (padded to 8 bytes).
+std::size_t append_record(PmemRegion& log, std::size_t end,
+                          std::uint64_t data_offset,
+                          std::span<const std::byte> payload) {
+  const std::size_t padded = (payload.size() + 7) / 8 * 8;
+  require(end + 16 + padded <= log.size(), "pmem log: log region full");
+  put_u64(log, end, data_offset);
+  put_u64(log, end + 8, payload.size());
+  log.store(end + 16, payload);
+  return end + 16 + padded;
+}
+
+std::size_t records_end(std::span<const std::byte> bytes,
+                        std::uint64_t count) {
+  std::size_t pos = kRecordsOffset;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = get_u64(bytes, pos + 8);
+    pos += 16 + (len + 7) / 8 * 8;
+  }
+  return pos;
+}
+
+}  // namespace
+
+namespace pmemlog {
+
+std::vector<Record> parse(std::span<const std::byte> log_bytes,
+                          std::uint64_t count) {
+  std::vector<Record> out;
+  std::size_t pos = kRecordsOffset;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record r;
+    r.offset = get_u64(log_bytes, pos);
+    const std::uint64_t len = get_u64(log_bytes, pos + 8);
+    require(pos + 16 + len <= log_bytes.size(), "pmem log: truncated record");
+    r.payload.assign(log_bytes.begin() + static_cast<std::ptrdiff_t>(pos + 16),
+                     log_bytes.begin() +
+                         static_cast<std::ptrdiff_t>(pos + 16 + len));
+    pos += 16 + (len + 7) / 8 * 8;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace pmemlog
+
+// ---------- undo ----------------------------------------------------------
+
+UndoLogTx::UndoLogTx(PmemRegion& data, PmemRegion& log)
+    : data_(data), log_(log) {}
+
+void UndoLogTx::begin() {
+  require(!active_, "undo tx: already active");
+  put_u64(log_, pmemlog::kCountOffset, 0);
+  set_state(log_, pmemlog::kActive);
+  active_ = true;
+  ++stats_.transactions;
+}
+
+void UndoLogTx::write(std::size_t offset, std::span<const std::byte> data) {
+  require(active_, "undo tx: write outside transaction");
+  require(!data.empty(), "undo tx: empty write");
+  // 1. write-ahead: log the OLD value and persist the record + count.
+  const auto bytes = log_.data();
+  const std::uint64_t count = get_u64(bytes, pmemlog::kCountOffset);
+  const std::size_t end = records_end(bytes, count);
+  const std::span<const std::byte> old{data_.data().data() + offset,
+                                       data.size()};
+  const std::size_t new_end = append_record(log_, end, offset, old);
+  // persist the record before the count that makes it visible
+  log_.persist_range(end, new_end - end);
+  put_u64(log_, pmemlog::kCountOffset, count + 1);
+  log_.persist_range(pmemlog::kCountOffset, 8);
+  stats_.log_bytes += new_end - end;
+  maybe_crash(CrashPoint::kAfterLogAppend);
+
+  // 2. in-place update; durable at commit.
+  data_.store(offset, data);
+  ++stats_.tx_writes;
+  stats_.data_bytes += data.size();
+}
+
+void UndoLogTx::commit(int threads) {
+  require(active_, "undo tx: commit outside transaction");
+  // 1. make the new data durable.
+  data_.persist(threads);
+  maybe_crash(CrashPoint::kBeforeCommitMark);
+  // 2. retire the log (the commit point for undo logging).
+  set_state(log_, pmemlog::kIdle, threads);
+  maybe_crash(CrashPoint::kAfterCommitMark);
+  active_ = false;
+}
+
+bool UndoLogTx::recover(PmemRegion& data, PmemRegion& log) {
+  if (persisted_state(log) != pmemlog::kActive) return false;
+  const auto bytes = log.persisted_data();
+  const std::uint64_t count = get_u64(bytes, pmemlog::kCountOffset);
+  const auto records = pmemlog::parse(bytes, count);
+  // roll back in reverse order
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    data.store(it->offset, it->payload);
+  }
+  data.persist();
+  set_state(log, pmemlog::kIdle);
+  return true;
+}
+
+// ---------- redo ----------------------------------------------------------
+
+RedoLogTx::RedoLogTx(PmemRegion& data, PmemRegion& log)
+    : data_(data), log_(log) {}
+
+void RedoLogTx::begin() {
+  require(!active_, "redo tx: already active");
+  put_u64(log_, pmemlog::kCountOffset, 0);
+  set_state(log_, pmemlog::kActive);
+  active_ = true;
+  ++stats_.transactions;
+}
+
+void RedoLogTx::write(std::size_t offset, std::span<const std::byte> data) {
+  require(active_, "redo tx: write outside transaction");
+  require(!data.empty(), "redo tx: empty write");
+  // buffer the NEW value in the log (not persisted until commit)
+  const auto bytes = log_.data();
+  const std::uint64_t count = get_u64(bytes, pmemlog::kCountOffset);
+  const std::size_t end = records_end(bytes, count);
+  const std::size_t new_end = append_record(log_, end, offset, data);
+  put_u64(log_, pmemlog::kCountOffset, count + 1);
+  stats_.log_bytes += new_end - end;
+  maybe_crash(CrashPoint::kAfterLogAppend);
+  // volatile read-your-writes view only; durable path goes via the log
+  data_.store(offset, data);
+  ++stats_.tx_writes;
+  stats_.data_bytes += data.size();
+}
+
+void RedoLogTx::commit(int threads) {
+  require(active_, "redo tx: commit outside transaction");
+  // 1. persist the buffered records, then the commit mark (atomicity point)
+  log_.persist(threads);
+  maybe_crash(CrashPoint::kBeforeCommitMark);
+  set_state(log_, pmemlog::kCommitted, threads);
+  maybe_crash(CrashPoint::kAfterCommitMark);
+  // 2. apply to the home locations and retire the log.
+  data_.persist(threads);
+  set_state(log_, pmemlog::kIdle, threads);
+  active_ = false;
+}
+
+bool RedoLogTx::recover(PmemRegion& data, PmemRegion& log) {
+  const std::uint8_t state = persisted_state(log);
+  if (state == pmemlog::kIdle) return false;
+  if (state == pmemlog::kActive) {
+    // uncommitted: discard
+    set_state(log, pmemlog::kIdle);
+    return false;
+  }
+  // committed: re-apply forward (idempotent)
+  const auto bytes = log.persisted_data();
+  const std::uint64_t count = get_u64(bytes, pmemlog::kCountOffset);
+  for (const auto& r : pmemlog::parse(bytes, count)) {
+    data.store(r.offset, r.payload);
+  }
+  data.persist();
+  set_state(log, pmemlog::kIdle);
+  return true;
+}
+
+}  // namespace nvms

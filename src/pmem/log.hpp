@@ -1,0 +1,142 @@
+// Crash-consistent transactions over persistent-memory regions.
+//
+// Two classic protocols (the paper's related work — Mnemosyne, NVStream,
+// NV-Tree — are all variations on these):
+//
+//   * Undo logging: the OLD value of every written range is appended to a
+//     write-ahead log and persisted *before* the in-place update; commit
+//     persists the data and then retires the log.  Crash before the log is
+//     retired -> roll back.
+//   * Redo logging: the NEW values are buffered in the log; a persisted
+//     commit mark is the atomicity point; the data region is updated after
+//     (and re-applied idempotently during recovery if needed).
+//
+// Records are genuinely serialized into the log region's bytes, and
+// recovery parses those bytes back — so the crash tests exercise a real
+// recovery path, not a mock.  All flush/fence costs are charged to the
+// simulated NVM via the regions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmem/region.hpp"
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+/// Simulated power failure injected at a specific protocol step.
+class CrashException : public Error {
+ public:
+  CrashException() : Error("simulated power failure") {}
+};
+
+enum class CrashPoint {
+  kNone,
+  kAfterLogAppend,    ///< inside write(): log record persisted, data not yet
+  kBeforeCommitMark,  ///< inside commit(): payload done, mark not persisted
+  kAfterCommitMark,   ///< inside commit(): mark persisted, cleanup pending
+};
+
+/// Cost/effort statistics of a transaction engine.
+struct TxStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t tx_writes = 0;
+  std::uint64_t data_bytes = 0;  ///< payload bytes written by the app
+  std::uint64_t log_bytes = 0;   ///< bytes appended to the log
+  double write_amplification() const {
+    return data_bytes > 0 ? static_cast<double>(data_bytes + log_bytes) /
+                                static_cast<double>(data_bytes)
+                          : 0.0;
+  }
+};
+
+/// Common interface so benches can compare protocols uniformly.
+class TxEngine {
+ public:
+  virtual ~TxEngine() = default;
+  virtual void begin() = 0;
+  virtual void write(std::size_t offset, std::span<const std::byte> data) = 0;
+  virtual void commit(int threads = 1) = 0;
+  virtual const TxStats& stats() const = 0;
+
+  void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
+ protected:
+  void maybe_crash(CrashPoint here) {
+    if (crash_point_ == here) {
+      crash_point_ = CrashPoint::kNone;
+      throw CrashException();
+    }
+  }
+  CrashPoint crash_point_ = CrashPoint::kNone;
+};
+
+class UndoLogTx final : public TxEngine {
+ public:
+  UndoLogTx(PmemRegion& data, PmemRegion& log);
+
+  void begin() override;
+  /// Write-ahead: persist the old value into the log, then update in place
+  /// (cached; durable at commit).
+  void write(std::size_t offset, std::span<const std::byte> data) override;
+  void commit(int threads = 1) override;
+  const TxStats& stats() const override { return stats_; }
+
+  /// Post-crash recovery: roll back an unretired transaction from the
+  /// log's *persisted* bytes.  Returns true if a rollback happened.
+  static bool recover(PmemRegion& data, PmemRegion& log);
+
+ private:
+  PmemRegion& data_;
+  PmemRegion& log_;
+  TxStats stats_;
+  bool active_ = false;
+};
+
+class RedoLogTx final : public TxEngine {
+ public:
+  RedoLogTx(PmemRegion& data, PmemRegion& log);
+
+  void begin() override;
+  /// Buffer the new value in the log; the data region is untouched until
+  /// commit (the volatile view is updated for read-your-writes).
+  void write(std::size_t offset, std::span<const std::byte> data) override;
+  void commit(int threads = 1) override;
+  const TxStats& stats() const override { return stats_; }
+
+  /// Post-crash recovery: re-apply a committed-but-unretired transaction,
+  /// or discard an uncommitted one.  Returns true if records were applied.
+  static bool recover(PmemRegion& data, PmemRegion& log);
+
+ private:
+  PmemRegion& data_;
+  PmemRegion& log_;
+  TxStats stats_;
+  bool active_ = false;
+};
+
+// -- log wire format helpers (shared by both engines; exposed for tests) --
+
+/// Header: [0]=state byte (0 idle, 1 active, 2 committed), [8..15]=record
+/// count (LE u64).  Records follow from byte 16.
+namespace pmemlog {
+constexpr std::size_t kStateOffset = 0;
+constexpr std::size_t kCountOffset = 8;
+constexpr std::size_t kRecordsOffset = 16;
+constexpr std::uint8_t kIdle = 0;
+constexpr std::uint8_t kActive = 1;
+constexpr std::uint8_t kCommitted = 2;
+
+struct Record {
+  std::uint64_t offset = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Parse all records from a log region's persisted image.
+std::vector<Record> parse(std::span<const std::byte> log_bytes,
+                          std::uint64_t count);
+}  // namespace pmemlog
+
+}  // namespace nvms

@@ -1,0 +1,78 @@
+// Persistent-memory regions (AppDirect programming model).
+//
+// The paper evaluates NVM as *memory* (Secs. IV-A..D) and as *persistent
+// storage* (Sec. IV-E).  This module models the byte-addressable
+// persistence path the AppDirect mode exposes: regular stores land in the
+// volatile cache hierarchy and only become durable after an explicit
+// cache-line flush (clwb) plus a fence drains them to the persistence
+// domain; non-temporal stores bypass the cache and are durable at the
+// fence.  Crash consistency on top of this is the business of the logging
+// protocols in pmem/log.hpp (NVStream/Mnemosyne-style, cited by the
+// paper's related work).
+//
+// A PmemRegion holds *real bytes* in two images — the volatile view and
+// the last persisted image — so crash/recovery behaviour is genuinely
+// testable, while the flush/fence traffic is charged to the simulated NVM
+// through the MemorySystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+class PmemRegion {
+ public:
+  /// Cache-line granularity of flushes (clwb).
+  static constexpr std::size_t kLine = 64;
+
+  PmemRegion(MemorySystem& sys, std::string name, std::size_t bytes);
+
+  std::size_t size() const { return contents_.size(); }
+  BufferId buffer() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // -- volatile view ------------------------------------------------------
+  /// Regular (write-back cached) store: visible immediately, durable only
+  /// after persist().  No NVM traffic yet.
+  void store(std::size_t offset, std::span<const std::byte> data);
+  /// Non-temporal store: bypasses the cache; the bytes are written to the
+  /// NVM immediately (charged now) and are durable at the next fence.
+  void store_nt(std::size_t offset, std::span<const std::byte> data,
+                int threads = 1);
+  /// Read from the volatile view.
+  std::span<const std::byte> data() const { return contents_; }
+  std::span<const std::byte> persisted_data() const { return persisted_; }
+
+  // -- persistence --------------------------------------------------------
+  /// clwb all dirty lines + sfence: charges the flush traffic to the NVM
+  /// and promotes the dirty lines into the persisted image.
+  void persist(int threads = 1);
+  /// Persist a specific byte range only (fine-grained clwb loop + fence).
+  void persist_range(std::size_t offset, std::size_t len, int threads = 1);
+
+  std::size_t dirty_lines() const { return dirty_.size(); }
+
+  // -- failure ------------------------------------------------------------
+  /// Power failure: the volatile view reverts to the persisted image.
+  void crash();
+
+ private:
+  void mark_dirty(std::size_t offset, std::size_t len);
+  void flush_lines(const std::set<std::size_t>& lines, int threads);
+
+  MemorySystem* sys_;
+  std::string name_;
+  BufferId id_ = kInvalidBuffer;
+  std::vector<std::byte> contents_;   ///< volatile view
+  std::vector<std::byte> persisted_;  ///< durable image
+  std::set<std::size_t> dirty_;       ///< dirty line indices
+};
+
+}  // namespace nvms

@@ -1,0 +1,31 @@
+#include "prof/data_profile.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nvms {
+
+std::vector<BufferProfile> collect_data_profile(const MemorySystem& sys) {
+  std::unordered_map<std::string, BufferProfile> by_name;
+  for (const auto& info : sys.buffers()) {
+    const auto& traffic = sys.traffic(info.id);
+    auto& p = by_name[info.name];
+    p.name = info.name;
+    // Re-allocations of the same logical structure keep the max size (it
+    // is resident once at a time), and accumulate traffic.
+    p.bytes = std::max(p.bytes, info.bytes);
+    p.read_bytes += traffic.read_bytes;
+    p.write_bytes += traffic.write_bytes;
+  }
+  std::vector<BufferProfile> out;
+  out.reserve(by_name.size());
+  for (auto& [name, p] : by_name) out.push_back(std::move(p));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.write_intensity() != b.write_intensity())
+      return a.write_intensity() > b.write_intensity();
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace nvms

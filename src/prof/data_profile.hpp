@@ -1,0 +1,38 @@
+// Data-centric profiling (the RTHMS-like tool of Sec. V-B [22]): per
+// data-structure traffic intensities collected from a profiling run, used
+// to drive write-aware placement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+struct BufferProfile {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+
+  /// Write traffic per resident byte — the placement ranking key.
+  double write_intensity() const {
+    return bytes > 0 ? static_cast<double>(write_bytes) /
+                           static_cast<double>(bytes)
+                     : 0.0;
+  }
+  double read_intensity() const {
+    return bytes > 0 ? static_cast<double>(read_bytes) /
+                           static_cast<double>(bytes)
+                     : 0.0;
+  }
+};
+
+/// Snapshot per-buffer profiles of all buffers ever registered with `sys`
+/// (including released ones, which carry their observed traffic), sorted by
+/// descending write intensity.  Buffers with identical names (re-allocated
+/// across iterations) are merged.
+std::vector<BufferProfile> collect_data_profile(const MemorySystem& sys);
+
+}  // namespace nvms

@@ -1,0 +1,37 @@
+#include "prof/run_recorder.hpp"
+
+namespace nvms {
+
+PhaseResolution RunRecorder::submit(const Phase& phase) {
+  const HwCounters before = sys_->counters();
+  const double t0 = sys_->now();
+  const PhaseResolution res = sys_->submit(phase);
+  const HwCounters after = sys_->counters();
+
+  CounterSample s;
+  s.phase = phase.name;
+  s.t0 = t0;
+  s.t1 = sys_->now();
+  s.delta.instructions = after.instructions - before.instructions;
+  s.delta.cycles_active = after.cycles_active - before.cycles_active;
+  s.delta.stall_cycles = after.stall_cycles - before.stall_cycles;
+  s.delta.offcore_wait = after.offcore_wait - before.offcore_wait;
+  s.delta.imc_reads = after.imc_reads - before.imc_reads;
+  s.delta.imc_writes = after.imc_writes - before.imc_writes;
+  samples_.push_back(std::move(s));
+  return res;
+}
+
+HwCounters RunRecorder::total() const {
+  HwCounters t;
+  for (const auto& s : samples_) t += s.delta;
+  return t;
+}
+
+double RunRecorder::recorded_time() const {
+  double t = 0.0;
+  for (const auto& s : samples_) t += s.duration();
+  return t;
+}
+
+}  // namespace nvms

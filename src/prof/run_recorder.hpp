@@ -1,0 +1,36 @@
+// RunRecorder: the in-application profiling routine.
+//
+// Mirrors the paper's methodology (Sec. III): profiling hooks are
+// integrated into the application so that only the main computation phases
+// are measured — the recorder snapshots the PCM-like counters around every
+// submitted phase and keeps per-phase samples.
+#pragma once
+
+#include <vector>
+
+#include "memsim/memory_system.hpp"
+#include "prof/sample.hpp"
+
+namespace nvms {
+
+class RunRecorder {
+ public:
+  explicit RunRecorder(MemorySystem& sys) : sys_(&sys) {}
+
+  /// Submit a phase to the memory system and record its counter delta.
+  PhaseResolution submit(const Phase& phase);
+
+  const std::vector<CounterSample>& samples() const { return samples_; }
+
+  /// Aggregate counters over all recorded samples.
+  HwCounters total() const;
+
+  /// Virtual time covered by the recorded samples.
+  double recorded_time() const;
+
+ private:
+  MemorySystem* sys_;
+  std::vector<CounterSample> samples_;
+};
+
+}  // namespace nvms

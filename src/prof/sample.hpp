@@ -1,0 +1,21 @@
+// Per-phase counter samples: the unit of training data for the paper's
+// prediction model (Sec. V-A) and the basis of trace-level analysis.
+#pragma once
+
+#include <string>
+
+#include "memsim/counters.hpp"
+
+namespace nvms {
+
+struct CounterSample {
+  std::string phase;     ///< name of the phase that produced the delta
+  double t0 = 0.0;       ///< virtual start time
+  double t1 = 0.0;       ///< virtual end time
+  HwCounters delta;      ///< counter increments over [t0, t1]
+
+  double duration() const { return t1 - t0; }
+  double ipc() const { return delta.ipc(); }
+};
+
+}  // namespace nvms

@@ -1,0 +1,54 @@
+#include "prof/windows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+std::vector<CounterSample> rebin_windows(
+    const std::vector<CounterSample>& samples, double window_s) {
+  require(window_s > 0.0, "rebin: window must be positive");
+  std::vector<CounterSample> out;
+  if (samples.empty()) return out;
+
+  const double t_begin = samples.front().t0;
+  double t_end = t_begin;
+  for (const auto& s : samples) t_end = std::max(t_end, s.t1);
+  if (t_end <= t_begin) return out;
+
+  const auto n_windows = static_cast<std::size_t>(
+      std::ceil((t_end - t_begin) / window_s - 1e-12));
+  out.resize(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    out[w].phase = "window";
+    out[w].t0 = t_begin + static_cast<double>(w) * window_s;
+    out[w].t1 = std::min(out[w].t0 + window_s, t_end);
+  }
+
+  for (const auto& s : samples) {
+    const double dur = s.duration();
+    if (dur <= 0.0) continue;
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, (s.t0 - t_begin) / window_s));
+    for (std::size_t w = first; w < n_windows; ++w) {
+      const double lo = std::max(s.t0, out[w].t0);
+      const double hi = std::min(s.t1, out[w].t1);
+      if (hi <= lo) {
+        if (out[w].t0 >= s.t1) break;
+        continue;
+      }
+      const double frac = (hi - lo) / dur;
+      out[w].delta.instructions += s.delta.instructions * frac;
+      out[w].delta.cycles_active += s.delta.cycles_active * frac;
+      out[w].delta.stall_cycles += s.delta.stall_cycles * frac;
+      out[w].delta.offcore_wait += s.delta.offcore_wait * frac;
+      out[w].delta.imc_reads += s.delta.imc_reads * frac;
+      out[w].delta.imc_writes += s.delta.imc_writes * frac;
+    }
+  }
+  return out;
+}
+
+}  // namespace nvms

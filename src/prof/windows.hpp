@@ -1,0 +1,24 @@
+// Fixed-window re-binning of per-phase counter samples.
+//
+// The paper's PCM methodology samples counters on a fixed wall-clock
+// period; our recorder is exact per phase.  Re-binning the per-phase
+// deltas onto a fixed time grid (splitting a phase's counts
+// proportionally across the windows it spans) reproduces the sampled view
+// — useful for plotting trace figures at PCM-like granularity and for
+// training the prediction model on uniform windows.
+#pragma once
+
+#include <vector>
+
+#include "prof/sample.hpp"
+
+namespace nvms {
+
+/// Re-bin `samples` (contiguous on the virtual timeline) into windows of
+/// `window_s` seconds.  Counter deltas are split proportionally to the
+/// time overlap; window phase names are "window".  The last window may be
+/// shorter.  Empty input yields an empty result.
+std::vector<CounterSample> rebin_windows(
+    const std::vector<CounterSample>& samples, double window_s);
+
+}  // namespace nvms

@@ -1,0 +1,164 @@
+#include "replay/recording.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "mem/space.hpp"
+#include "simcore/error.hpp"
+
+namespace nvms {
+namespace {
+
+const char* pattern_token(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential:
+      return "seq";
+    case Pattern::kStrided:
+      return "strided";
+    case Pattern::kRandom:
+      return "rand";
+  }
+  return "?";
+}
+
+Pattern parse_pattern(const std::string& s) {
+  if (s == "seq") return Pattern::kSequential;
+  if (s == "strided") return Pattern::kStrided;
+  if (s == "rand") return Pattern::kRandom;
+  throw ConfigError("trace: unknown pattern '" + s + "'");
+}
+
+Placement parse_placement(const std::string& s) {
+  if (s == "auto") return Placement::kAuto;
+  if (s == "dram") return Placement::kDram;
+  if (s == "nvm") return Placement::kNvm;
+  throw ConfigError("trace: unknown placement '" + s + "'");
+}
+
+void check_name(const std::string& name) {
+  require(!name.empty() &&
+              name.find_first_of(" \t\n") == std::string::npos,
+          "trace: name '" + name + "' must be non-empty without whitespace");
+}
+
+}  // namespace
+
+std::uint64_t PhaseRecording::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : phases) total += p.total_bytes();
+  return total;
+}
+
+std::string PhaseRecording::save() const {
+  std::ostringstream out;
+  // round-trip precision for flops / fractions
+  out << std::setprecision(17);
+  out << "nvmstrace v1\n";
+  for (const auto& b : buffers) {
+    check_name(b.name);
+    out << "buffer " << b.name << ' ' << b.bytes << ' ' << to_string(b.placement)
+        << '\n';
+  }
+  for (const auto& p : phases) {
+    check_name(p.name);
+    out << "phase " << p.name << ' ' << p.threads << ' ' << p.flops << ' '
+        << p.parallel_fraction << ' ' << p.mlp << ' ' << p.overlap << ' '
+        << p.streams.size() << '\n';
+    for (const auto& s : p.streams) {
+      out << "stream " << s.buffer << ' ' << s.bytes << ' '
+          << pattern_token(s.pattern) << ' '
+          << (s.dir == Dir::kRead ? "read" : "write") << ' ' << s.granule
+          << ' ' << s.reuse << ' ' << s.reuse_block << '\n';
+    }
+  }
+  return out.str();
+}
+
+PhaseRecording PhaseRecording::load(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  require(header == "nvmstrace v1", "trace: bad header '" + header + "'");
+
+  PhaseRecording rec;
+  std::string tok;
+  std::size_t pending_streams = 0;
+  while (in >> tok) {
+    if (tok == "buffer") {
+      require(pending_streams == 0, "trace: buffer inside phase");
+      RecordedBuffer b;
+      std::string placement;
+      require(static_cast<bool>(in >> b.name >> b.bytes >> placement),
+              "trace: truncated buffer line");
+      b.placement = parse_placement(placement);
+      rec.buffers.push_back(std::move(b));
+    } else if (tok == "phase") {
+      require(pending_streams == 0, "trace: phase while streams pending");
+      Phase p;
+      require(static_cast<bool>(in >> p.name >> p.threads >> p.flops >>
+                                p.parallel_fraction >> p.mlp >> p.overlap >>
+                                pending_streams),
+              "trace: truncated phase line");
+      rec.phases.push_back(std::move(p));
+    } else if (tok == "stream") {
+      require(!rec.phases.empty() && pending_streams > 0,
+              "trace: stream outside phase");
+      StreamDesc s;
+      std::string pattern;
+      std::string dir;
+      require(static_cast<bool>(in >> s.buffer >> s.bytes >> pattern >> dir >>
+                                s.granule >> s.reuse >> s.reuse_block),
+              "trace: truncated stream line");
+      s.pattern = parse_pattern(pattern);
+      require(dir == "read" || dir == "write",
+              "trace: unknown direction '" + dir + "'");
+      s.dir = dir == "read" ? Dir::kRead : Dir::kWrite;
+      require(s.buffer < rec.buffers.size(),
+              "trace: stream references unknown buffer");
+      rec.phases.back().streams.push_back(s);
+      --pending_streams;
+    } else {
+      throw ConfigError("trace: unknown token '" + tok + "'");
+    }
+  }
+  require(pending_streams == 0, "trace: truncated stream list");
+  return rec;
+}
+
+double PhaseRecording::replay(MemorySystem& sys,
+                              const PlacementPlan* placement) const {
+  require(sys.buffers().empty(), "trace replay: system already has buffers");
+  const double t0 = sys.now();
+  for (const auto& b : buffers) {
+    Placement p = b.placement;
+    if (placement != nullptr) {
+      const Placement override_p = placement->lookup(b.name);
+      if (override_p != Placement::kAuto) p = override_p;
+    }
+    (void)sys.register_buffer(b.name, b.bytes, p);
+  }
+  for (const auto& p : phases) (void)sys.submit(p);
+  return sys.now() - t0;
+}
+
+TraceCapture::TraceCapture(MemorySystem& sys) : sys_(&sys) {
+  sys.set_phase_observer([this](const Phase& p) { phases_.push_back(p); });
+}
+
+TraceCapture::~TraceCapture() {
+  if (!finished_) sys_->set_phase_observer(nullptr);
+}
+
+PhaseRecording TraceCapture::finish() {
+  require(!finished_, "trace capture: finish called twice");
+  finished_ = true;
+  sys_->set_phase_observer(nullptr);
+  PhaseRecording rec;
+  for (const auto& b : sys_->buffers()) {
+    rec.buffers.push_back({b.name, b.bytes, b.placement});
+  }
+  rec.phases = std::move(phases_);
+  return rec;
+}
+
+}  // namespace nvms

@@ -1,0 +1,70 @@
+// Phase-trace recording and replay.
+//
+// A recording captures everything the simulator needs to re-execute a
+// run's *memory behaviour* without the application: the buffer table and
+// the exact phase stream.  Replaying it on a differently-configured
+// MemorySystem answers what-if questions (different mode, device
+// parameters, cache geometry) in microseconds — the classic trace-driven
+// simulation workflow.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/placement_plan.hpp"
+#include "memsim/memory_system.hpp"
+#include "trace/phase.hpp"
+
+namespace nvms {
+
+struct RecordedBuffer {
+  std::string name;
+  std::uint64_t bytes = 0;
+  Placement placement = Placement::kAuto;
+};
+
+class PhaseRecording {
+ public:
+  std::vector<RecordedBuffer> buffers;
+  std::vector<Phase> phases;
+
+  bool empty() const { return phases.empty(); }
+  std::uint64_t total_bytes() const;
+
+  /// Serialize to the line-based `nvmstrace v1` text format.
+  /// Buffer and phase names must not contain whitespace.
+  std::string save() const;
+  /// Parse a recording; throws ConfigError on malformed input.
+  static PhaseRecording load(const std::string& text);
+
+  /// Re-execute on a fresh system: registers the buffer table (ids are
+  /// assigned in order, matching the recorded stream references) and
+  /// submits every phase.  Returns the replayed virtual runtime.
+  /// An optional placement plan overrides recorded buffer placements by
+  /// name (entries mapping to kAuto keep the recorded placement).
+  double replay(MemorySystem& sys,
+                const PlacementPlan* placement = nullptr) const;
+};
+
+/// Captures the phases submitted to a MemorySystem between construction
+/// and finish().  Uses the system's phase observer hook.
+class TraceCapture {
+ public:
+  explicit TraceCapture(MemorySystem& sys);
+  ~TraceCapture();
+
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  /// Stop capturing and assemble the recording (buffer table snapshot +
+  /// captured phases).
+  PhaseRecording finish();
+
+ private:
+  MemorySystem* sys_;
+  std::vector<Phase> phases_;
+  bool finished_ = false;
+};
+
+}  // namespace nvms

@@ -1,0 +1,43 @@
+// Error handling for nvmsim.  Configuration and usage errors throw
+// nvms::Error; internal invariants use NVMS_ASSERT which also throws so that
+// tests can exercise failure paths without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nvms {
+
+/// Base exception for all nvmsim errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown for invalid user-supplied configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// Thrown when a simulated capacity (e.g. DRAM in write-aware mode) would be
+/// exceeded.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what)
+      : Error("capacity: " + what) {}
+};
+
+/// Throw ConfigError unless `cond` holds.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw ConfigError(what);
+}
+
+}  // namespace nvms
+
+#define NVMS_ASSERT(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      throw ::nvms::Error(std::string("internal: ") + (msg) + " at " +    \
+                          __FILE__ + ":" + std::to_string(__LINE__));     \
+  } while (false)

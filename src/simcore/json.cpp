@@ -1,0 +1,142 @@
+#include "simcore/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+Json& Json::set(const std::string& key, Json value) {
+  if (!std::holds_alternative<std::shared_ptr<Object>>(value_)) {
+    value_ = std::make_shared<Object>();
+  }
+  auto& obj = *std::get<std::shared_ptr<Object>>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (!std::holds_alternative<std::shared_ptr<Array>>(value_)) {
+    value_ = std::make_shared<Array>();
+  }
+  std::get<std::shared_ptr<Array>>(value_)->push_back(std::move(value));
+  return *this;
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  std::string pad;
+  std::string pad_close;
+  if (indent > 0) {
+    pad = "\n";
+    pad.append(static_cast<std::size_t>(indent) *
+                   (static_cast<std::size_t>(depth) + 1),
+               ' ');
+    pad_close = "\n";
+    pad_close.append(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+  }
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (std::holds_alternative<bool>(value_)) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<double>(value_)) {
+    const double d = std::get<double>(value_);
+    require(std::isfinite(d), "json: non-finite number");
+    char buf[40];
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", d);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+    }
+    out += buf;
+  } else if (std::holds_alternative<std::string>(value_)) {
+    out += '"';
+    out += escape(std::get<std::string>(value_));
+    out += '"';
+  } else if (is_object()) {
+    const auto& obj = *std::get<std::shared_ptr<Object>>(value_);
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      out += '"';
+      out += escape(k);
+      out += "\":";
+      if (indent > 0) out += ' ';
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out += '}';
+  } else {
+    const auto& arr = *std::get<std::shared_ptr<Array>>(value_);
+    out += '[';
+    bool first = true;
+    for (const auto& v : arr) {
+      if (!first) out += ',';
+      first = false;
+      out += pad;
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out += ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace nvms

@@ -1,0 +1,49 @@
+// Minimal JSON writer for machine-readable CLI/bench output.
+//
+// Build documents imperatively; serialization escapes strings per RFC 8259
+// and renders numbers with enough precision to round-trip doubles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nvms {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}                      // null
+  Json(bool b) : value_(b) {}                      // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                    // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}    // NOLINT
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}   // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT
+
+  /// Object member (creates/overwrites); turns this node into an object.
+  Json& set(const std::string& key, Json value);
+  /// Array element append; turns this node into an array.
+  Json& push(Json value);
+
+  bool is_object() const;
+  bool is_array() const;
+
+  std::string dump(int indent = 0) const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      value_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,79 @@
+#include "simcore/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double q) {
+  require(!values.empty(), "percentile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+MovingAverage::MovingAverage(std::size_t window) : buf_(window, 0.0) {
+  require(window > 0, "moving average window must be positive");
+}
+
+double MovingAverage::add(double x) {
+  if (count_ >= buf_.size()) sum_ -= buf_[next_];
+  buf_[next_] = x;
+  sum_ += x;
+  next_ = (next_ + 1) % buf_.size();
+  if (count_ < buf_.size()) ++count_;
+  return value();
+}
+
+double MovingAverage::value() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(std::min(count_, buf_.size()));
+}
+
+}  // namespace nvms

@@ -1,0 +1,55 @@
+// Streaming and batch statistics used by profilers, samplers, and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvms {
+
+/// Welford online accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1].  The input is copied; the original order is preserved.
+double percentile(std::vector<double> values, double q);
+
+/// Simple trailing moving average over a fixed window.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  double add(double x);
+  double value() const;
+  bool full() const { return count_ >= buf_.size(); }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace nvms

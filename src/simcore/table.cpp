@@ -1,0 +1,55 @@
+#include "simcore/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "table row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int prec) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size())
+        out += std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace nvms

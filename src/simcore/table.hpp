@@ -1,0 +1,28 @@
+// Plain-text aligned table printer used by the benchmark harnesses to emit
+// the same rows the paper's tables/figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvms {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,92 @@
+#include "simcore/time_series.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+void TimeSeries::add_segment(double t0, double t1, double value) {
+  require(t1 >= t0, "time series segment with t1 < t0");
+  if (!segments_.empty()) {
+    require(t0 >= segments_.back().t1 - 1e-12,
+            "time series segments must be appended in order");
+  }
+  if (t1 == t0) return;  // zero-length segments carry no information
+  segments_.push_back({t0, t1, value});
+}
+
+double TimeSeries::start() const {
+  return segments_.empty() ? 0.0 : segments_.front().t0;
+}
+
+double TimeSeries::end() const {
+  return segments_.empty() ? 0.0 : segments_.back().t1;
+}
+
+double TimeSeries::time_average() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& s : segments_) {
+    const double dt = s.t1 - s.t0;
+    weighted += s.value * dt;
+    total += dt;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+double TimeSeries::peak() const {
+  double p = 0.0;
+  for (const auto& s : segments_) p = std::max(p, s.value);
+  return p;
+}
+
+double TimeSeries::at(double t) const {
+  for (const auto& s : segments_) {
+    if (t >= s.t0 && t < s.t1) return s.value;
+  }
+  return 0.0;
+}
+
+std::vector<double> TimeSeries::resample(std::size_t n) const {
+  require(n > 0, "resample with zero points");
+  std::vector<double> out(n, 0.0);
+  if (segments_.empty()) return out;
+  const double t0 = start();
+  const double t1 = end();
+  const double bin = (t1 - t0) / static_cast<double>(n);
+  if (bin <= 0.0) return out;
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b0 = t0 + bin * static_cast<double>(i);
+    const double b1 = b0 + bin;
+    double weighted = 0.0;
+    // advance to the first segment overlapping this bin
+    while (seg < segments_.size() && segments_[seg].t1 <= b0) ++seg;
+    for (std::size_t j = seg; j < segments_.size() && segments_[j].t0 < b1;
+         ++j) {
+      const double lo = std::max(b0, segments_[j].t0);
+      const double hi = std::min(b1, segments_[j].t1);
+      if (hi > lo) weighted += segments_[j].value * (hi - lo);
+    }
+    out[i] = weighted / bin;
+  }
+  return out;
+}
+
+std::string TimeSeries::to_csv(const std::string& name, std::size_t n) const {
+  std::string csv = "t_s," + name + "\n";
+  const auto values = resample(n);
+  const double t0 = start();
+  const double bin = empty() ? 0.0 : (end() - t0) / static_cast<double>(n);
+  char row[96];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(row, sizeof row, "%.6f,%.6g\n",
+                  t0 + bin * (static_cast<double>(i) + 0.5), values[i]);
+    csv += row;
+  }
+  return csv;
+}
+
+}  // namespace nvms

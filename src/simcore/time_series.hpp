@@ -1,0 +1,52 @@
+// Piecewise-constant time series for reconstructing bandwidth traces
+// (Figures 4, 5, 7, 8, 9b of the paper).
+//
+// The memory simulator resolves one average bandwidth per phase; a phase
+// contributes a segment [t0, t1) with a constant value.  Traces are then
+// resampled to a fixed grid for printing/CSV export, matching the paper's
+// sampled PCM traces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nvms {
+
+/// One constant-valued segment of a trace.
+struct Segment {
+  double t0 = 0.0;   ///< segment start, seconds
+  double t1 = 0.0;   ///< segment end, seconds
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  /// Append a segment; `t0` must not precede the previous segment's end.
+  void add_segment(double t0, double t1, double value);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+  double start() const;
+  double end() const;
+
+  /// Time-weighted average of the whole series.
+  double time_average() const;
+  /// Maximum segment value (0 for an empty series).
+  double peak() const;
+
+  /// Value at time t (0 outside all segments).
+  double at(double t) const;
+
+  /// Resample onto `n` uniformly spaced points across [start, end];
+  /// each point is the time-weighted average over its bin.
+  std::vector<double> resample(std::size_t n) const;
+
+  /// Emit "t,value" CSV rows resampled to n points, with a header line.
+  std::string to_csv(const std::string& name, std::size_t n) const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace nvms

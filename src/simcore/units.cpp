@@ -1,0 +1,51 @@
+#include "simcore/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace nvms {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, suffix[i]);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_s) {
+  char buf[64];
+  if (bytes_per_s >= GB) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_s / GB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_s / MB);
+  }
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace nvms

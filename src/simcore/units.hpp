@@ -1,0 +1,43 @@
+// Units and formatting helpers shared across the simulator.
+//
+// Conventions used throughout nvmsim:
+//   * time            : double, seconds (virtual simulated time)
+//   * latency         : double, seconds (e.g. 174e-9 for 174 ns)
+//   * bandwidth       : double, bytes per second
+//   * sizes / traffic : std::uint64_t, bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvms {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// Decimal giga, used for bandwidths quoted as "GB/s" in the paper.
+inline constexpr double GB = 1e9;
+inline constexpr double MB = 1e6;
+
+/// Nanoseconds to seconds.
+constexpr double ns(double v) { return v * 1e-9; }
+/// Microseconds to seconds.
+constexpr double us(double v) { return v * 1e-6; }
+/// Milliseconds to seconds.
+constexpr double ms(double v) { return v * 1e-3; }
+
+/// Bytes/second expressed from a "GB/s" figure (decimal, as in the paper).
+constexpr double gbps(double v) { return v * GB; }
+/// Bytes/second expressed from a "MB/s" figure.
+constexpr double mbps(double v) { return v * MB; }
+
+/// Pretty-print a byte count ("1.50 GiB").
+std::string format_bytes(std::uint64_t bytes);
+/// Pretty-print a bandwidth in GB/s with two decimals ("12.34 GB/s").
+std::string format_bandwidth(double bytes_per_s);
+/// Pretty-print a duration, picking ns/us/ms/s automatically.
+std::string format_time(double seconds);
+
+}  // namespace nvms

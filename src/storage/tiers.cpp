@@ -1,0 +1,73 @@
+#include "storage/tiers.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace nvms {
+
+const std::vector<StorageTier>& StorageTier::all() {
+  static const std::vector<StorageTier> tiers = {
+      // tmpfs on DRAM: performance upper bound, not persistent.
+      {TierKind::kTmpfs, "tmpfs-dram", false, 0.0, us(5)},
+      // DAX ext4 on Optane: stores issued straight to the NVM device.
+      {TierKind::kDaxNvm, "dax-ext4-nvm", true, 0.0, us(10)},
+      // ext4 on the local RAID.
+      {TierKind::kRaidExt4, "ext4-raid", true, gbps(1.2), ms(2)},
+      // Lustre over the interconnect.
+      {TierKind::kLustre, "lustre", true, gbps(0.8), ms(8)},
+  };
+  return tiers;
+}
+
+const StorageTier& StorageTier::by_kind(TierKind kind) {
+  for (const auto& t : all()) {
+    if (t.kind == kind) return t;
+  }
+  throw ConfigError("unknown storage tier");
+}
+
+SnapshotWriter::SnapshotWriter(MemorySystem& sys, StorageTier tier)
+    : sys_(&sys), tier_(std::move(tier)) {}
+
+double SnapshotWriter::write(BufferId source, std::uint64_t bytes,
+                             int threads) {
+  require(bytes > 0, "snapshot: empty snapshot");
+  const double t0 = sys_->now();
+  const bool memory_tier =
+      tier_.kind == TierKind::kTmpfs || tier_.kind == TierKind::kDaxNvm;
+
+  if (memory_tier) {
+    if (dax_target_ == kInvalidBuffer) {
+      const Placement p = tier_.kind == TierKind::kDaxNvm ? Placement::kNvm
+                                                          : Placement::kDram;
+      dax_target_ = sys_->register_buffer("snapshot:" + tier_.name,
+                                          std::max(bytes, std::uint64_t{1}),
+                                          p);
+    }
+    sys_->advance(tier_.name + ":open", tier_.setup_latency);
+    Phase p = PhaseBuilder("snapshot:" + tier_.name)
+                  .threads(threads)
+                  .stream(seq_read(source, bytes))
+                  .stream(seq_write(dax_target_, bytes))
+                  .build();
+    (void)sys_->submit(p);
+  } else {
+    // Block tier: the source is still read from main memory, and the
+    // device drains at its streaming bandwidth.
+    Phase p = PhaseBuilder("snapshot:" + tier_.name)
+                  .threads(threads)
+                  .stream(seq_read(source, bytes))
+                  .build();
+    (void)sys_->submit(p);
+    sys_->advance(tier_.name + ":drain",
+                  tier_.setup_latency +
+                      static_cast<double>(bytes) / tier_.write_bw);
+  }
+  const double dt = sys_->now() - t0;
+  total_time_ += dt;
+  ++count_;
+  return dt;
+}
+
+}  // namespace nvms

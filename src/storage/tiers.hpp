@@ -1,0 +1,55 @@
+// Storage-tier models for the persistence study (Sec. IV-E, Fig. 9).
+//
+// The paper writes Laghos visualization snapshots to four tiers: tmpfs on
+// DRAM (non-persistent upper bound), a DAX-aware ext4 on the Optane, ext4
+// on local RAID, and Lustre over the interconnect.  DAX writes go through
+// the simulated NVM device (64B store path); block tiers are modelled with
+// a per-snapshot setup latency plus streaming bandwidth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+enum class TierKind { kTmpfs, kDaxNvm, kRaidExt4, kLustre };
+
+struct StorageTier {
+  TierKind kind = TierKind::kTmpfs;
+  std::string name = "tmpfs";
+  bool persistent = false;
+  double write_bw = 0.0;   ///< bytes/s (block tiers; unused for dax)
+  double setup_latency = 0.0;  ///< per-snapshot syscall/metadata cost
+
+  /// The four tiers of Fig. 9a in the paper's order.
+  static const std::vector<StorageTier>& all();
+  static const StorageTier& by_kind(TierKind kind);
+};
+
+/// Snapshot writer: serializes `bytes` of application state from main
+/// memory to the tier, advancing the MemorySystem clock.  For the DAX
+/// tier the stores are issued through the NVM device model (and show up
+/// in the NVM write trace, Fig. 9b); block tiers cost setup latency plus
+/// bytes / write_bw, with the source read still hitting main memory.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(MemorySystem& sys, StorageTier tier);
+
+  /// Write one snapshot of the buffer's contents; returns the time spent.
+  double write(BufferId source, std::uint64_t bytes, int threads);
+
+  double total_time() const { return total_time_; }
+  int snapshots() const { return count_; }
+  const StorageTier& tier() const { return tier_; }
+
+ private:
+  MemorySystem* sys_;
+  StorageTier tier_;
+  BufferId dax_target_ = kInvalidBuffer;
+  double total_time_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace nvms

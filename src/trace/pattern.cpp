@@ -1,0 +1,17 @@
+#include "trace/pattern.hpp"
+
+namespace nvms {
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential:
+      return "seq";
+    case Pattern::kStrided:
+      return "strided";
+    case Pattern::kRandom:
+      return "rand";
+  }
+  return "?";
+}
+
+}  // namespace nvms

@@ -1,0 +1,91 @@
+// Phase descriptors: the unit of work submitted to the memory simulator.
+//
+// A phase bundles useful arithmetic (flops), its access streams, and its
+// execution properties (logical concurrency, parallel fraction,
+// memory-level parallelism).  Apps submit many small phases (one per
+// iteration / panel / sweep), which is what produces the structured
+// bandwidth traces of Figures 4, 5, 7 and 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/pattern.hpp"
+
+namespace nvms {
+
+struct Phase {
+  std::string name;
+
+  /// Logical concurrency (threads) executing this phase.
+  int threads = 1;
+
+  /// Useful floating-point work of the phase.
+  double flops = 0.0;
+
+  /// Fraction of the compute that parallelizes (Amdahl); 1.0 = perfect.
+  double parallel_fraction = 1.0;
+
+  /// Per-thread memory-level parallelism for Random streams (outstanding
+  /// misses).  Bounds latency-limited random bandwidth.
+  double mlp = 8.0;
+
+  /// Fraction of memory time that can overlap with compute; 1.0 means the
+  /// phase runs at max(compute, memory) (roofline), 0.0 means they
+  /// serialize.
+  double overlap = 1.0;
+
+  std::vector<StreamDesc> streams;
+
+  /// Sum of bytes for streams in direction `dir`.
+  std::uint64_t bytes(Dir dir) const {
+    std::uint64_t total = 0;
+    for (const auto& s : streams)
+      if (s.dir == dir) total += s.bytes;
+    return total;
+  }
+  std::uint64_t read_bytes() const { return bytes(Dir::kRead); }
+  std::uint64_t write_bytes() const { return bytes(Dir::kWrite); }
+  std::uint64_t total_bytes() const { return read_bytes() + write_bytes(); }
+};
+
+/// Builder-style helper so app kernels read naturally:
+///   submit(PhaseBuilder("fft-pass").threads(t).flops(f)
+///          .stream(seq_read(a, n)).stream(seq_write(b, n)).build());
+class PhaseBuilder {
+ public:
+  explicit PhaseBuilder(std::string name) { phase_.name = std::move(name); }
+
+  PhaseBuilder& threads(int t) {
+    phase_.threads = t;
+    return *this;
+  }
+  PhaseBuilder& flops(double f) {
+    phase_.flops = f;
+    return *this;
+  }
+  PhaseBuilder& parallel_fraction(double p) {
+    phase_.parallel_fraction = p;
+    return *this;
+  }
+  PhaseBuilder& mlp(double m) {
+    phase_.mlp = m;
+    return *this;
+  }
+  PhaseBuilder& overlap(double o) {
+    phase_.overlap = o;
+    return *this;
+  }
+  PhaseBuilder& stream(StreamDesc s) {
+    phase_.streams.push_back(s);
+    return *this;
+  }
+
+  Phase build() { return std::move(phase_); }
+
+ private:
+  Phase phase_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,49 @@
+#include "trace/run_traces.hpp"
+
+namespace nvms {
+namespace {
+
+double series_bytes(const TimeSeries& s) {
+  double total = 0.0;
+  for (const auto& seg : s.segments()) total += seg.value * (seg.t1 - seg.t0);
+  return total;
+}
+
+double run_span(const RunTraces& t) {
+  double t0 = 1e300;
+  double t1 = -1e300;
+  for (const TimeSeries* s :
+       {&t.dram_read, &t.dram_write, &t.nvm_read, &t.nvm_write}) {
+    if (s->empty()) continue;
+    t0 = t0 < s->start() ? t0 : s->start();
+    t1 = t1 > s->end() ? t1 : s->end();
+  }
+  return (t1 > t0) ? (t1 - t0) : 0.0;
+}
+
+}  // namespace
+
+double RunTraces::phase_time_fraction(const std::string& prefix) const {
+  double matched = 0.0;
+  double total = 0.0;
+  for (const auto& p : phases) {
+    const double dt = p.t1 - p.t0;
+    total += dt;
+    if (p.name.rfind(prefix, 0) == 0) matched += dt;
+  }
+  return total > 0.0 ? matched / total : 0.0;
+}
+
+double RunTraces::avg_read_bw() const {
+  const double span = run_span(*this);
+  if (span <= 0.0) return 0.0;
+  return (series_bytes(dram_read) + series_bytes(nvm_read)) / span;
+}
+
+double RunTraces::avg_write_bw() const {
+  const double span = run_span(*this);
+  if (span <= 0.0) return 0.0;
+  return (series_bytes(dram_write) + series_bytes(nvm_write)) / span;
+}
+
+}  // namespace nvms

@@ -1,0 +1,40 @@
+// Reconstructed bandwidth traces of a run, in the spirit of the paper's
+// per-DIMM PCM sampling.  One read and one write series per device class,
+// plus phase boundary markers so benches can report phase compositions
+// (e.g. "stage 1 extends from 20% to 70% of execution", Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time_series.hpp"
+
+namespace nvms {
+
+/// Marks one submitted phase on the virtual timeline.
+struct PhaseMark {
+  std::string name;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+struct RunTraces {
+  TimeSeries dram_read;
+  TimeSeries dram_write;
+  TimeSeries nvm_read;
+  TimeSeries nvm_write;
+  std::vector<PhaseMark> phases;
+
+  void clear() { *this = RunTraces{}; }
+
+  /// Total fraction of execution time spent in phases whose name starts
+  /// with `prefix` (used for phase-composition results).
+  double phase_time_fraction(const std::string& prefix) const;
+
+  /// Combined (DRAM + NVM) average read/write bandwidth over the run.
+  double avg_read_bw() const;
+  double avg_write_bw() const;
+};
+
+}  // namespace nvms

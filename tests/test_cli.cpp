@@ -1,0 +1,194 @@
+// Tests for the option parser and the nvmsim command-line driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "cli/options.hpp"
+#include "simcore/error.hpp"
+
+namespace nvms {
+namespace {
+
+/// argv helper: keeps the strings alive for the call.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    for (auto& s : strings) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> strings;
+  std::vector<char*> ptrs;
+};
+
+int run_cli(std::vector<std::string> args, std::string* out_text = nullptr,
+            std::string* err_text = nullptr) {
+  args.insert(args.begin(), "nvmsim");
+  Argv a(std::move(args));
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = cli_main(a.argc(), a.argv(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+// ---------- option parser -------------------------------------------------
+
+TEST(Options, PositionalAndKeyValue) {
+  Argv a({"prog", "run", "xsbench", "--threads", "24", "--flag"});
+  const auto opt = Options::parse(a.argc(), a.argv(), 1);
+  ASSERT_EQ(opt.positional().size(), 2u);
+  EXPECT_EQ(opt.positional()[0], "run");
+  EXPECT_EQ(opt.get_int("threads", 0), 24);
+  EXPECT_TRUE(opt.has("flag"));
+  EXPECT_EQ(opt.get("flag", ""), "true");
+}
+
+TEST(Options, TypedAccessorsAndDefaults) {
+  Argv a({"prog", "--scale", "2.5"});
+  const auto opt = Options::parse(a.argc(), a.argv(), 1);
+  EXPECT_DOUBLE_EQ(opt.get_double("scale", 1.0), 2.5);
+  EXPECT_EQ(opt.get_int("missing", 7), 7);
+  EXPECT_EQ(opt.get("missing", "x"), "x");
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  Argv a({"prog", "--threads", "many"});
+  const auto opt = Options::parse(a.argc(), a.argv(), 1);
+  EXPECT_THROW(opt.get_int("threads", 0), ConfigError);
+}
+
+TEST(Options, TracksUnusedKeys) {
+  Argv a({"prog", "--used", "1", "--typo", "2"});
+  const auto opt = Options::parse(a.argc(), a.argv(), 1);
+  (void)opt.get_int("used", 0);
+  const auto unused = opt.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// ---------- driver ----------------------------------------------------------
+
+TEST(Cli, ListShowsAllApps) {
+  std::string out;
+  EXPECT_EQ(run_cli({"list"}, &out), 0);
+  for (const char* app : {"hacc", "laghos", "scalapack", "xsbench", "hypre",
+                          "superlu", "boxlib", "ft"}) {
+    EXPECT_NE(out.find(app), std::string::npos) << app;
+  }
+}
+
+TEST(Cli, DevicesShowsCalibration) {
+  std::string out;
+  EXPECT_EQ(run_cli({"devices"}, &out), 0);
+  EXPECT_NE(out.find("304.0 ns"), std::string::npos);
+  EXPECT_NE(out.find("39.00 GB/s"), std::string::npos);
+}
+
+TEST(Cli, RunProducesReport) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "hacc", "--threads", "12"}, &out), 0);
+  EXPECT_NE(out.find("hacc"), std::string::npos);
+  EXPECT_NE(out.find("runtime"), std::string::npos);
+  EXPECT_NE(out.find("uncached-nvm"), std::string::npos);
+}
+
+TEST(Cli, RunWritesTraceCsv) {
+  const std::string path = "/tmp/nvms_cli_test_trace.csv";
+  std::remove(path.c_str());
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "laghos", "--trace", path}, &out), 0);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[80] = {};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  EXPECT_NE(std::string(header).find("t_s,dram_read_gbs"),
+            std::string::npos);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepRunsMatrix) {
+  std::string out;
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--threads", "12,36", "--modes",
+                     "dram-only,uncached-nvm"},
+                    &out),
+            0);
+  // header + separator + 4 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(Cli, ProfileEmitsPlan) {
+  std::string out;
+  EXPECT_EQ(run_cli({"profile", "scalapack", "--budget", "35"}, &out), 0);
+  EXPECT_NE(out.find("write-aware plan"), std::string::npos);
+  EXPECT_NE(out.find("mat_c"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreReported) {
+  std::string err;
+  EXPECT_EQ(run_cli({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run_cli({"run"}, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"run", "nope"}, nullptr, &err), 1);
+  EXPECT_EQ(run_cli({"run", "hacc", "--mode", "weird"}, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({}, nullptr, &err), 2);  // usage
+}
+
+TEST(Cli, WarnsOnUnusedOptions) {
+  std::string err;
+  EXPECT_EQ(run_cli({"list", "--bogus", "1"}, nullptr, &err), 0);
+  EXPECT_NE(err.find("unused option --bogus"), std::string::npos);
+}
+
+TEST(Cli, RemoteNvmIsSlower) {
+  std::string local_out;
+  std::string remote_out;
+  EXPECT_EQ(run_cli({"run", "xsbench"}, &local_out), 0);
+  EXPECT_EQ(run_cli({"run", "xsbench", "--remote-nvm"}, &remote_out), 0);
+  auto fom = [](const std::string& s) {
+    const auto pos = s.find("FoM");
+    return std::stod(s.substr(pos + 3));
+  };
+  EXPECT_GT(fom(local_out), fom(remote_out));
+}
+
+TEST(Cli, RecordAndReplayRoundTrip) {
+  const std::string path = "/tmp/nvms_cli_test.trace";
+  std::remove(path.c_str());
+  std::string out;
+  EXPECT_EQ(run_cli({"record", "hacc", "--out", path, "--threads", "12"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("recorded"), std::string::npos);
+  std::string replay_out;
+  EXPECT_EQ(run_cli({"replay", path, "--mode", "dram-only"}, &replay_out), 0);
+  EXPECT_NE(replay_out.find("replayed runtime"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReplayWhatIfChangesOutcome) {
+  const std::string path = "/tmp/nvms_cli_whatif.trace";
+  std::remove(path.c_str());
+  EXPECT_EQ(run_cli({"record", "ft", "--out", path}), 0);
+  std::string base;
+  std::string boosted;
+  EXPECT_EQ(run_cli({"replay", path}, &base), 0);
+  EXPECT_EQ(run_cli({"replay", path, "--nvm-write-bw", "26"}, &boosted), 0);
+  EXPECT_NE(base, boosted);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RecordRequiresOutFile) {
+  std::string err;
+  EXPECT_EQ(run_cli({"record", "hacc"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+  EXPECT_EQ(run_cli({"replay", "/nonexistent/file"}, nullptr, &err), 1);
+}
+
+}  // namespace
+}  // namespace nvms

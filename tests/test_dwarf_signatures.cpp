@@ -1,0 +1,150 @@
+// Per-application traffic-signature tests: each dwarf's memory behaviour
+// must carry the fingerprint Table III and the trace figures attribute to
+// it — independent of absolute calibration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/registry.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+AppResult uncached(const std::string& app, int threads = 36) {
+  AppConfig cfg;
+  cfg.threads = threads;
+  return run_app(app, Mode::kUncachedNvm, cfg);
+}
+
+double write_ratio(const AppResult& r) {
+  const double rd = r.traces.avg_read_bw();
+  const double wr = r.traces.avg_write_bw();
+  return wr / (rd + wr);
+}
+
+std::set<std::string> phase_names(const AppResult& r) {
+  std::set<std::string> names;
+  for (const auto& p : r.traces.phases) names.insert(p.name);
+  return names;
+}
+
+TEST(Signature, XsbenchIsPureRandomRead) {
+  const auto r = uncached("xsbench");
+  EXPECT_LT(write_ratio(r), 0.001);
+  // single phase type, repeated per batch
+  const auto names = phase_names(r);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(*names.begin(), "lookup");
+  EXPECT_GT(r.samples.size(), 10u);
+}
+
+TEST(Signature, HaccIsComputeBound) {
+  const auto r = uncached("hacc");
+  // total traffic is tiny relative to the runtime: tens of MB/s
+  EXPECT_LT(r.traces.avg_read_bw() + r.traces.avg_write_bw(), mbps(200));
+  // but the write share is substantial (vel/acc updates)
+  EXPECT_GT(write_ratio(r), 0.2);
+}
+
+TEST(Signature, FtHasTheHighestWriteRatio) {
+  std::map<std::string, double> ratios;
+  for (const auto& app : app_names()) ratios[app] = write_ratio(uncached(app));
+  for (const auto& [app, ratio] : ratios) {
+    if (app == "ft") continue;
+    EXPECT_GE(ratios["ft"], ratio) << app;
+  }
+  EXPECT_GT(ratios["ft"], 0.3);
+}
+
+TEST(Signature, FtPhaseStructure) {
+  const auto r = uncached("ft");
+  const auto names = phase_names(r);
+  for (const char* expected :
+       {"evolve", "fftx", "ffty", "fftz", "sync", "checksum"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Signature, SuperLuTwoStages) {
+  const auto r = uncached("superlu");
+  const auto names = phase_names(r);
+  EXPECT_TRUE(names.count("factor:panel"));
+  EXPECT_TRUE(names.count("solve:sweep"));
+  // stage 1 write-heavy: its share dominates on uncached NVM
+  EXPECT_GT(r.traces.phase_time_fraction("factor"), 0.5);
+}
+
+TEST(Signature, ScalapackStages) {
+  const auto r = uncached("scalapack");
+  const auto names = phase_names(r);
+  EXPECT_TRUE(names.count("bcast"));
+  EXPECT_TRUE(names.count("update"));
+  // panels alternate bcast/update
+  EXPECT_EQ(r.traces.phases.size() % 2, 0u);
+}
+
+TEST(Signature, HypreIsReadDominant) {
+  const auto r = uncached("hypre");
+  EXPECT_LT(write_ratio(r), 0.10);
+  const auto names = phase_names(r);
+  EXPECT_TRUE(names.count("smooth-down"));
+  EXPECT_TRUE(names.count("prolong"));
+}
+
+TEST(Signature, BoxlibRegridsPeriodically) {
+  const auto r = uncached("boxlib");
+  int regrids = 0;
+  for (const auto& p : r.traces.phases) regrids += (p.name == "regrid");
+  // 16 steps, regrid every 4
+  EXPECT_EQ(regrids, 4);
+}
+
+TEST(Signature, LaghosAssemblyThenTimeloop) {
+  const auto r = uncached("laghos");
+  // all assembly phases strictly precede the time loop
+  double last_assembly_end = 0.0;
+  double first_timeloop_start = 1e300;
+  for (const auto& p : r.traces.phases) {
+    if (p.name == "assembly") last_assembly_end = std::max(last_assembly_end, p.t1);
+    if (p.name.rfind("timeloop", 0) == 0)
+      first_timeloop_start = std::min(first_timeloop_start, p.t0);
+  }
+  EXPECT_LE(last_assembly_end, first_timeloop_start + 1e-12);
+}
+
+TEST(Signature, MemoryBandwidthOrderingMatchesTableIII) {
+  // On uncached NVM the paper's bandwidth ordering has hacc tiny, laghos
+  // and ft low, and the scaled tier high.
+  std::map<std::string, double> bw;
+  for (const auto& app : app_names()) {
+    const auto r = uncached(app);
+    bw[app] = r.traces.avg_read_bw() + r.traces.avg_write_bw();
+  }
+  EXPECT_LT(bw["hacc"], bw["laghos"]);
+  EXPECT_LT(bw["laghos"], bw["superlu"]);
+  EXPECT_LT(bw["ft"], bw["superlu"]);
+  EXPECT_LT(bw["superlu"], bw["scalapack"]);
+}
+
+TEST(Signature, IterationOverridesScaleWork) {
+  // scalapack's panel count follows the matrix dimension and xsbench's
+  // total lookups are fixed (batches only partition them), so the
+  // override applies to the time-stepped applications.
+  for (const std::string app :
+       {"hacc", "laghos", "hypre", "superlu", "boxlib", "ft"}) {
+    AppConfig one;
+    one.threads = 24;
+    one.iterations = 1;
+    AppConfig four = one;
+    four.iterations = 4;
+    const auto r1 = run_app(app, Mode::kDramOnly, one);
+    const auto r4 = run_app(app, Mode::kDramOnly, four);
+    EXPECT_GT(r4.runtime, r1.runtime) << app;
+    EXPECT_GE(r4.samples.size(), r1.samples.size()) << app;
+  }
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,81 @@
+// Tests for the minimal JSON writer and the CLI's --json output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cli/driver.hpp"
+#include "simcore/error.hpp"
+#include "simcore/json.hpp"
+
+namespace nvms {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwrite) {
+  Json j;
+  j.set("b", 1).set("a", 2).set("b", 3);
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr;
+  arr.push(1).push("two").push(Json().set("three", 3.0));
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",{\"three\":3}]");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json j;
+  j.set("x", 1);
+  EXPECT_EQ(j.dump(2), "{\n  \"x\": 1\n}");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  const double v = 0.1234567890123456789;
+  const std::string s = Json(v).dump();
+  EXPECT_DOUBLE_EQ(std::stod(s), v);
+}
+
+TEST(Json, RejectsNonFinite) {
+  EXPECT_THROW(Json(std::nan("")).dump(), ConfigError);
+}
+
+TEST(JsonCli, RunEmitsParseableFields) {
+  std::ostringstream out;
+  std::ostringstream err;
+  std::vector<std::string> args = {"nvmsim", "run",       "laghos",
+                                   "--json", "--threads", "24"};
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  const int rc =
+      cli_main(static_cast<int>(argv.size()), argv.data(), out, err);
+  EXPECT_EQ(rc, 0);
+  const std::string s = out.str();
+  for (const char* field :
+       {"\"app\": \"laghos\"", "\"mode\": \"uncached-nvm\"",
+        "\"threads\": 24", "\"runtime_s\":", "\"counters\":",
+        "\"imc_reads\":"}) {
+    EXPECT_NE(s.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,153 @@
+// DRAM-cache (Memory mode) tests on crafted streams: hit/miss behaviour,
+// write-back traffic, eviction, conflict misses, and set sampling.
+#include <gtest/gtest.h>
+
+#include "memsim/dram_cache.hpp"
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+CacheParams small_cache(std::uint64_t capacity = 64 * KiB,
+                        std::uint64_t line = 4 * KiB) {
+  CacheParams p;
+  p.line = line;
+  p.capacity = capacity;
+  p.max_sets = 1u << 16;
+  return p;
+}
+
+TEST(CacheParams, Validation) {
+  CacheParams p = small_cache();
+  p.line = 100;  // not a power of two
+  EXPECT_THROW(DramCache{p}, ConfigError);
+  p = small_cache();
+  p.capacity = p.line / 2;
+  EXPECT_THROW(DramCache{p}, ConfigError);
+}
+
+TEST(DramCache, ColdSequentialReadMissesThenHits) {
+  DramCache c(small_cache());
+  // Buffer of 32 KiB = 8 lines, cache holds 16 lines -> fits.
+  const StreamDesc rd = seq_read(0, 32 * KiB);
+  const auto cold = c.access(rd, 0, 32 * KiB);
+  EXPECT_EQ(cold.misses, 8u);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.nvm_read, 32 * KiB);   // all fetched
+  EXPECT_EQ(cold.dram_write, 32 * KiB); // all filled
+  EXPECT_EQ(cold.nvm_write, 0u);        // nothing dirty yet
+
+  const auto warm = c.access(rd, 0, 32 * KiB);
+  EXPECT_EQ(warm.hits, 8u);
+  EXPECT_EQ(warm.misses, 0u);
+  EXPECT_EQ(warm.nvm_read, 0u);
+  EXPECT_EQ(warm.dram_read, 32 * KiB);
+}
+
+TEST(DramCache, WriteAllocateAndWriteback) {
+  DramCache c(small_cache());
+  const StreamDesc wr = seq_write(0, 32 * KiB);
+  const auto first = c.access(wr, 0, 32 * KiB);
+  // write misses allocate: NVM read + fill + the store itself
+  EXPECT_EQ(first.nvm_read, 32 * KiB);
+  EXPECT_EQ(first.dram_write, 2 * 32 * KiB);
+  EXPECT_EQ(first.nvm_write, 0u);
+
+  // A conflicting buffer mapped over the same sets evicts dirty lines.
+  // The cache has 16 sets; a second buffer based at capacity aliases
+  // set-for-set with the first.
+  const auto evict = c.access(seq_read(1, 32 * KiB), 64 * KiB, 32 * KiB);
+  EXPECT_EQ(evict.misses, 8u);
+  EXPECT_EQ(evict.nvm_write, 32 * KiB);  // dirty victims written back
+}
+
+TEST(DramCache, CleanEvictionHasNoWriteback) {
+  DramCache c(small_cache());
+  (void)c.access(seq_read(0, 32 * KiB), 0, 32 * KiB);
+  const auto evict = c.access(seq_read(1, 32 * KiB), 64 * KiB, 32 * KiB);
+  EXPECT_EQ(evict.nvm_write, 0u);
+}
+
+TEST(DramCache, StreamingFootprintBeyondCapacityAlwaysMisses) {
+  DramCache c(small_cache(64 * KiB));
+  // 1 MiB buffer walked twice: 16x the cache, every touch misses.
+  const StreamDesc rd = seq_read(0, 2 * MiB);
+  const auto out = c.access(rd, 0, 1 * MiB);
+  EXPECT_EQ(out.hits, 0u);
+  EXPECT_EQ(out.misses, 2 * MiB / (4 * KiB));
+}
+
+TEST(DramCache, ReuseWithinCapacityHitsAfterWarmup) {
+  DramCache c(small_cache(64 * KiB));
+  // 32 KiB buffer walked 8 times: first pass misses, the rest hit.
+  const auto out = c.access(seq_read(0, 8 * 32 * KiB), 0, 32 * KiB);
+  EXPECT_EQ(out.misses, 8u);
+  EXPECT_EQ(out.hits, 7u * 8u);
+}
+
+TEST(DramCache, OccupancyTracksValidLines) {
+  DramCache c(small_cache(64 * KiB));
+  EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+  (void)c.access(seq_read(0, 32 * KiB), 0, 32 * KiB);
+  EXPECT_NEAR(c.occupancy(), 0.5, 1e-12);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+}
+
+TEST(DramCache, RandomStreamMixesHitsAndMisses) {
+  DramCache c(small_cache(256 * KiB));
+  // Random touches over a buffer 4x the cache: steady-state hit rate must
+  // be well below 1 and above 0.
+  const StreamDesc rr = rand_read(0, 16 * MiB);
+  (void)c.access(rr, 0, 1 * MiB);  // warm
+  const auto out = c.access(rr, 0, 1 * MiB);
+  // Direct-mapped steady state over a 4x footprint is ~25% raw hits; the
+  // occupancy-driven conflict model converts most of those at full
+  // occupancy, leaving a small but nonzero residue.
+  const double hit_rate = static_cast<double>(out.hits) /
+                          static_cast<double>(out.hits + out.misses);
+  EXPECT_GT(hit_rate, 0.005);
+  EXPECT_LT(hit_rate, 0.6);
+}
+
+TEST(DramCache, RandomWriteGeneratesWritebackTraffic) {
+  DramCache c(small_cache(256 * KiB));
+  const StreamDesc rw = rand_write(0, 16 * MiB);
+  (void)c.access(rw, 0, 1 * MiB);
+  const auto out = c.access(rw, 0, 1 * MiB);
+  EXPECT_GT(out.nvm_write, 0u);
+}
+
+TEST(DramCache, SetSamplingKicksInForHugeCaches) {
+  CacheParams p;
+  p.line = 4 * KiB;
+  p.capacity = 8 * GiB;  // 2M sets
+  p.max_sets = 1u << 14;
+  DramCache c(p);
+  EXPECT_GT(c.sample_mod(), 1u);
+  EXPECT_LE(c.sets() / c.sample_mod(), (1u << 14));
+  // Sampled simulation still produces sane scaled counts.
+  const auto out = c.access(seq_read(0, 512 * MiB), 0, 256 * MiB);
+  const auto touches = 512 * MiB / (4 * KiB);
+  EXPECT_NEAR(static_cast<double>(out.hits + out.misses),
+              static_cast<double>(touches), 0.1 * static_cast<double>(touches));
+}
+
+TEST(DramCache, ZeroByteStreamIsNoop) {
+  DramCache c(small_cache());
+  StreamDesc s = seq_read(0, 0);
+  const auto out = c.access(s, 0, 32 * KiB);
+  EXPECT_EQ(out.hits + out.misses, 0u);
+}
+
+TEST(DramCache, TrafficConservation) {
+  // NVM read traffic equals miss count * line; DRAM fill equals it too.
+  DramCache c(small_cache(128 * KiB));
+  const auto out = c.access(seq_read(0, 1 * MiB), 0, 512 * KiB);
+  EXPECT_EQ(out.nvm_read, out.misses * 4 * KiB);
+  EXPECT_GE(out.dram_write, out.misses * 4 * KiB);
+}
+
+}  // namespace
+}  // namespace nvms

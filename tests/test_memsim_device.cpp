@@ -1,0 +1,159 @@
+// Device-model tests: scaling curves, capacities, latency limits, and the
+// calibration facts the reproduction depends on (Sec. II-A / [21] numbers).
+#include <gtest/gtest.h>
+
+#include "memsim/cpu.hpp"
+#include "memsim/device.hpp"
+#include "memsim/scaling_curve.hpp"
+#include "memsim/wpq.hpp"
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+TEST(ScalingCurve, InterpolatesAndClamps) {
+  ScalingCurve c({{1, 0.1}, {4, 0.4}, {8, 1.0}});
+  EXPECT_DOUBLE_EQ(c.at(0.5), 0.1);   // clamp low
+  EXPECT_DOUBLE_EQ(c.at(100), 1.0);   // clamp high
+  EXPECT_DOUBLE_EQ(c.at(4), 0.4);     // exact point
+  EXPECT_NEAR(c.at(2), 0.2, 1e-12);   // interpolation
+  EXPECT_NEAR(c.at(6), 0.7, 1e-12);
+}
+
+TEST(ScalingCurve, Argmax) {
+  ScalingCurve c({{1, 0.5}, {4, 1.0}, {16, 0.4}});
+  EXPECT_DOUBLE_EQ(c.argmax(), 4.0);
+}
+
+TEST(ScalingCurve, RejectsBadPoints) {
+  EXPECT_THROW(ScalingCurve({}), ConfigError);
+  EXPECT_THROW(ScalingCurve({{2, 0.1}, {2, 0.2}}), ConfigError);
+  EXPECT_THROW(ScalingCurve({{1, -0.1}}), ConfigError);
+}
+
+TEST(Device, OptaneCalibration) {
+  const auto p = optane_socket_params(768 * GiB);
+  EXPECT_DOUBLE_EQ(p.read_lat_seq, ns(174));
+  EXPECT_DOUBLE_EQ(p.read_lat_rand, ns(304));
+  EXPECT_DOUBLE_EQ(p.read_bw_peak, gbps(39));
+  EXPECT_DOUBLE_EQ(p.write_bw_peak, gbps(13));
+  EXPECT_EQ(p.media_granularity, 256u);
+  p.validate();
+}
+
+TEST(Device, OptaneAsymmetryIsRoughlyThreeTimes) {
+  const auto p = optane_socket_params(768 * GiB);
+  EXPECT_NEAR(p.read_bw_peak / p.write_bw_peak, 3.0, 0.5);
+}
+
+TEST(Device, OptaneWriteScalingPeaksAtFewThreads) {
+  const auto p = optane_socket_params(768 * GiB);
+  EXPECT_DOUBLE_EQ(p.write_scaling.argmax(), 4.0);
+  // Decline at high thread counts: the WPQ-contention signature.
+  EXPECT_LT(p.write_capacity(Pattern::kSequential, 48),
+            p.write_capacity(Pattern::kSequential, 4));
+  // At ~36 threads the sequential write capacity lands near the paper's
+  // throttled 2.3 GB/s SuperLU stage-1 write bandwidth.
+  EXPECT_NEAR(p.write_capacity(Pattern::kSequential, 36) / GB, 2.3, 0.4);
+}
+
+TEST(Device, OptaneReadScalingKeepsScaling) {
+  const auto p = optane_socket_params(768 * GiB);
+  EXPECT_GT(p.read_capacity(Pattern::kSequential, 16),
+            p.read_capacity(Pattern::kSequential, 4));
+  EXPECT_NEAR(p.read_capacity(Pattern::kSequential, 16) / GB, 39.0, 0.5);
+}
+
+TEST(Device, DramFasterThanNvmEverywhere) {
+  const auto d = ddr4_socket_params(96 * GiB);
+  const auto n = optane_socket_params(768 * GiB);
+  for (double t : {1.0, 4.0, 12.0, 24.0, 48.0}) {
+    for (Pattern pat :
+         {Pattern::kSequential, Pattern::kStrided, Pattern::kRandom}) {
+      EXPECT_GT(d.read_capacity(pat, t), n.read_capacity(pat, t));
+      EXPECT_GT(d.write_capacity(pat, t), n.write_capacity(pat, t));
+    }
+  }
+  EXPECT_LT(d.read_lat_rand, n.read_lat_rand);
+}
+
+TEST(Device, RandomWritePaysMediaGranularity) {
+  const auto n = optane_socket_params(768 * GiB);
+  // 64B random stores into 256B media: effective write efficiency is far
+  // below the sequential path.
+  EXPECT_LT(n.write_capacity(Pattern::kRandom, 4),
+            0.5 * n.write_capacity(Pattern::kSequential, 4));
+}
+
+TEST(Device, LatencyLimitedReadBw) {
+  const auto n = optane_socket_params(768 * GiB);
+  // Little's law: t * mlp * 64B / 304ns.
+  const double expect = 36.0 * 2.0 * 64.0 / ns(304);
+  EXPECT_NEAR(n.latency_limited_read_bw(36, 2.0), expect, 1.0);
+  EXPECT_GT(n.latency_limited_read_bw(48, 4.0),
+            n.latency_limited_read_bw(24, 4.0));
+}
+
+TEST(Device, ValidationCatchesNonsense) {
+  auto p = ddr4_socket_params(1 * GiB);
+  p.capacity = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ddr4_socket_params(1 * GiB);
+  p.read_lat_rand = p.read_lat_seq / 2;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ddr4_socket_params(1 * GiB);
+  p.throttle_alpha = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Cpu, CoreEquivalents) {
+  CpuParams cpu;  // 24 cores, 2-way SMT, 0.3 HT yield
+  EXPECT_DOUBLE_EQ(cpu.core_equivalents(1), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.core_equivalents(24), 24.0);
+  EXPECT_DOUBLE_EQ(cpu.core_equivalents(48), 24.0 + 0.3 * 24.0);
+  EXPECT_DOUBLE_EQ(cpu.core_equivalents(500), cpu.core_equivalents(48));
+}
+
+TEST(Cpu, ComputeTimeAmdahl) {
+  CpuParams cpu;
+  const double flops = 1e9;
+  const double t1 = cpu.compute_time(flops, 1, 1.0);
+  const double t24 = cpu.compute_time(flops, 24, 1.0);
+  EXPECT_NEAR(t1 / t24, 24.0, 1e-9);
+  // With a serial fraction, speedup saturates below the core count.
+  const double t24_amdahl = cpu.compute_time(flops, 24, 0.9);
+  EXPECT_GT(t24_amdahl, t24);
+  EXPECT_LT(t1 / t24_amdahl, 10.0);
+}
+
+TEST(Cpu, ZeroFlopsZeroTime) {
+  CpuParams cpu;
+  EXPECT_DOUBLE_EQ(cpu.compute_time(0.0, 8, 1.0), 0.0);
+}
+
+TEST(Wpq, UtilizationShape) {
+  WpqModel w{64, 0.85};
+  EXPECT_DOUBLE_EQ(w.utilization(0.0, gbps(2.3)), 0.0);
+  // Low demand leaves the queue nearly empty (Laghos at 1.3 GB/s).
+  EXPECT_LT(w.utilization(gbps(1.3), gbps(2.3)), 0.35);
+  // Demand at/above drain pins utilization at 1 (SuperLU stage 1).
+  EXPECT_DOUBLE_EQ(w.utilization(gbps(33), gbps(2.3)), 1.0);
+  EXPECT_DOUBLE_EQ(w.utilization(gbps(2.3), gbps(2.3)), 1.0);
+  // Monotone in demand.
+  double prev = 0.0;
+  for (double d = 0.1; d < 3.0; d += 0.1) {
+    const double u = w.utilization(gbps(d), gbps(2.3));
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+}
+
+TEST(Wpq, ZeroDrain) {
+  WpqModel w{64, 0.85};
+  EXPECT_DOUBLE_EQ(w.utilization(gbps(1), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.utilization(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace nvms

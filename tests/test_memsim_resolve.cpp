@@ -1,0 +1,181 @@
+// Phase-resolution tests: roofline behaviour, write throttling fixed point,
+// concurrency effects, and the SuperLU/Laghos calibration scenarios from
+// Sec. IV-C of the paper.
+#include <gtest/gtest.h>
+
+#include "memsim/resolve.hpp"
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+struct Fixture {
+  DeviceParams dram = ddr4_socket_params(96 * GiB);
+  DeviceParams nvm = optane_socket_params(768 * GiB);
+  CpuParams cpu;
+};
+
+Phase mk_phase(int threads, double flops) {
+  Phase p;
+  p.name = "test";
+  p.threads = threads;
+  p.flops = flops;
+  return p;
+}
+
+TEST(Resolve, PureComputePhase) {
+  Fixture f;
+  Phase p = mk_phase(24, 1e9);
+  const auto res = resolve_phase(p, {}, {}, f.dram, f.nvm, f.cpu);
+  EXPECT_DOUBLE_EQ(res.time, res.compute_time);
+  EXPECT_GT(res.time, 0.0);
+  EXPECT_DOUBLE_EQ(res.dram.read_bw, 0.0);
+}
+
+TEST(Resolve, EmptyPhaseTakesNoTime) {
+  Fixture f;
+  Phase p = mk_phase(1, 0.0);
+  const auto res = resolve_phase(p, {}, {}, f.dram, f.nvm, f.cpu);
+  EXPECT_DOUBLE_EQ(res.time, 0.0);
+}
+
+TEST(Resolve, SequentialReadHitsDeviceBandwidth) {
+  Fixture f;
+  Phase p = mk_phase(24, 0.0);
+  DeviceDemand dram;
+  dram.add(Pattern::kSequential, Dir::kRead, 10 * GiB);
+  const auto res = resolve_phase(p, dram, {}, f.dram, f.nvm, f.cpu);
+  const double cap = f.dram.read_capacity(Pattern::kSequential, 24);
+  EXPECT_NEAR(res.dram.read_bw, cap, 0.02 * cap);
+}
+
+TEST(Resolve, NvmReadsSlowerThanDram) {
+  Fixture f;
+  Phase p = mk_phase(24, 0.0);
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kRead, 10 * GiB);
+  const auto on_dram = resolve_phase(p, dem, {}, f.dram, f.nvm, f.cpu);
+  const auto on_nvm = resolve_phase(p, {}, dem, f.dram, f.nvm, f.cpu);
+  EXPECT_GT(on_nvm.time, 2.0 * on_dram.time);
+}
+
+TEST(Resolve, RooflineOverlap) {
+  Fixture f;
+  Phase p = mk_phase(24, 0.0);
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kRead, 10 * GiB);
+  const auto mem_only = resolve_phase(p, dem, {}, f.dram, f.nvm, f.cpu);
+  // Add compute that takes less time than memory: fully hidden.
+  p.flops = 1e9;
+  const auto both = resolve_phase(p, dem, {}, f.dram, f.nvm, f.cpu);
+  EXPECT_NEAR(both.time, mem_only.time, 1e-9);
+  // No overlap: times add.
+  p.overlap = 0.0;
+  const auto serial = resolve_phase(p, dem, {}, f.dram, f.nvm, f.cpu);
+  EXPECT_NEAR(serial.time, mem_only.time + both.compute_time, 1e-9);
+}
+
+TEST(Resolve, WriteThrottlingSuperLuStageOne) {
+  // Paper, Sec. IV-C: SuperLU stage 1 demands ~54 GB/s reads and
+  // ~33 GB/s writes on DRAM.  On uncached NVM at high concurrency, writes
+  // collapse to ~2.3 GB/s and throttled reads to ~4 GB/s.
+  Fixture f;
+  Phase p = mk_phase(36, 0.0);
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kRead, 54 * GiB);
+  dem.add(Pattern::kSequential, Dir::kWrite, 33 * GiB);
+  const auto res = resolve_phase(p, {}, dem, f.dram, f.nvm, f.cpu);
+  EXPECT_NEAR(res.nvm.write_bw / GB, 2.3, 0.6);
+  EXPECT_NEAR(res.nvm.read_bw / GB, 4.0, 1.5);
+  EXPECT_GT(res.nvm.wpq_util, 0.95);
+  EXPECT_LT(res.nvm.throttle, 0.2);
+}
+
+TEST(Resolve, LowWriteRateAvoidsThrottling) {
+  // Laghos-like: ~3 GB/s reads, ~1.3 GB/s writes -> below the ~2 GB/s
+  // threshold, reads are essentially unthrottled.
+  Fixture f;
+  // Compute sized so the phase lasts ~1 s, putting the write demand rate
+  // at ~1.3 GB/s, below the throttling threshold.
+  Phase p = mk_phase(36, 5.5e11);
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kRead, 3 * GiB);
+  dem.add(Pattern::kSequential, Dir::kWrite, 1300 * MiB);
+  const auto res = resolve_phase(p, {}, dem, f.dram, f.nvm, f.cpu);
+  EXPECT_GT(res.nvm.throttle, 0.9);
+}
+
+TEST(Resolve, ThrottleMonotoneInWriteDemand) {
+  Fixture f;
+  Phase p = mk_phase(36, 0.0);
+  double prev_throttle = 1.1;
+  for (double wgib : {0.5, 2.0, 8.0, 32.0}) {
+    DeviceDemand dem;
+    dem.add(Pattern::kSequential, Dir::kRead, 20 * GiB);
+    dem.add(Pattern::kSequential, Dir::kWrite,
+            static_cast<std::uint64_t>(wgib * static_cast<double>(GiB)));
+    const auto res = resolve_phase(p, {}, dem, f.dram, f.nvm, f.cpu);
+    EXPECT_LE(res.nvm.throttle, prev_throttle + 1e-9);
+    prev_throttle = res.nvm.throttle;
+  }
+  EXPECT_LT(prev_throttle, 0.2);
+}
+
+TEST(Resolve, NvmWriteBandwidthDeclinesWithConcurrency) {
+  // The diverging effect (Sec. IV-D): more threads help reads but hurt
+  // NVM writes.
+  Fixture f;
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kWrite, 4 * GiB);
+  Phase lo = mk_phase(4, 0.0);
+  Phase hi = mk_phase(48, 0.0);
+  const auto r_lo = resolve_phase(lo, {}, dem, f.dram, f.nvm, f.cpu);
+  const auto r_hi = resolve_phase(hi, {}, dem, f.dram, f.nvm, f.cpu);
+  EXPECT_GT(r_lo.nvm.write_bw, r_hi.nvm.write_bw);
+
+  DeviceDemand rdem;
+  rdem.add(Pattern::kSequential, Dir::kRead, 4 * GiB);
+  const auto rr_lo = resolve_phase(lo, {}, rdem, f.dram, f.nvm, f.cpu);
+  const auto rr_hi = resolve_phase(hi, {}, rdem, f.dram, f.nvm, f.cpu);
+  EXPECT_GT(rr_hi.nvm.read_bw, rr_lo.nvm.read_bw);
+}
+
+TEST(Resolve, RandomReadsLatencyLimited) {
+  Fixture f;
+  Phase p = mk_phase(8, 0.0);
+  p.mlp = 1.0;
+  DeviceDemand dem;
+  dem.add(Pattern::kRandom, Dir::kRead, 1 * GiB);
+  const auto res = resolve_phase(p, {}, dem, f.dram, f.nvm, f.cpu);
+  const double little = f.nvm.latency_limited_read_bw(8, 1.0);
+  EXPECT_NEAR(res.nvm.read_bw, little, 0.05 * little);
+}
+
+TEST(Resolve, RejectsInvalidPhases) {
+  Fixture f;
+  Phase p = mk_phase(0, 0.0);
+  EXPECT_THROW(resolve_phase(p, {}, {}, f.dram, f.nvm, f.cpu), ConfigError);
+  p = mk_phase(4, 0.0);
+  p.mlp = 0.0;
+  EXPECT_THROW(resolve_phase(p, {}, {}, f.dram, f.nvm, f.cpu), ConfigError);
+  p = mk_phase(4, 0.0);
+  p.overlap = 2.0;
+  EXPECT_THROW(resolve_phase(p, {}, {}, f.dram, f.nvm, f.cpu), ConfigError);
+}
+
+TEST(Resolve, MixedDeviceDemandTakesSlowerDevice) {
+  Fixture f;
+  Phase p = mk_phase(24, 0.0);
+  DeviceDemand dram;
+  dram.add(Pattern::kSequential, Dir::kRead, 1 * GiB);
+  DeviceDemand nvm;
+  nvm.add(Pattern::kSequential, Dir::kRead, 1 * GiB);
+  const auto res = resolve_phase(p, dram, nvm, f.dram, f.nvm, f.cpu);
+  const double nvm_time =
+      static_cast<double>(GiB) / f.nvm.read_capacity(Pattern::kSequential, 24);
+  EXPECT_NEAR(res.time, nvm_time, 0.05 * nvm_time);
+}
+
+}  // namespace
+}  // namespace nvms

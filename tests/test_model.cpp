@@ -1,0 +1,270 @@
+// Tests for the prediction-model module: dense linear algebra, the
+// standardized ridge regression with t-statistics, the incomplete beta /
+// Student-t machinery, and the Eq. 1 IPC predictor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/linalg.hpp"
+#include "simcore/error.hpp"
+#include "model/predictor.hpp"
+#include "model/regression.hpp"
+#include "simcore/rng.hpp"
+
+namespace nvms {
+namespace {
+
+// ---------- linalg -------------------------------------------------------
+
+TEST(Linalg, MatrixMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;
+  b(0, 1) = 8;
+  b(1, 0) = 9;
+  b(1, 1) = 10;
+  b(2, 0) = 11;
+  b(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Linalg, TransposeAndIdentity) {
+  Matrix a(2, 3, 1.0);
+  a(0, 1) = 5.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  const Matrix i = Matrix::identity(3);
+  const Matrix ai = a * i;
+  EXPECT_DOUBLE_EQ(ai(0, 1), 5.0);
+}
+
+TEST(Linalg, SolveKnownSystem) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = -1;
+  const auto x = solve(a, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, SolveNeedsPivoting) {
+  // leading zero pivot forces a row swap
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve(a, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SolveSingularThrows) {
+  Matrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(solve(a, {1, 2}), Error);
+}
+
+TEST(Linalg, InverseRoundTrip) {
+  Rng rng(9);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 4.0;
+  }
+  const Matrix inv = inverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+// ---------- scaler / regression ------------------------------------------
+
+TEST(Scaler, ZeroMeanUnitVariance) {
+  Matrix x(4, 2);
+  const double col0[] = {1, 2, 3, 4};
+  const double col1[] = {10, 10, 10, 10};  // constant column
+  for (std::size_t i = 0; i < 4; ++i) {
+    x(i, 0) = col0[i];
+    x(i, 1) = col1[i];
+  }
+  StandardScaler s;
+  s.fit(x);
+  const Matrix t = s.transform(x);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) mean += t(i, 0);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  // constant columns map to zero, not NaN
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(t(i, 1), 0.0);
+}
+
+TEST(Regression, RecoversNoiselessLinearModel) {
+  Rng rng(17);
+  const std::size_t n = 60;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2, 2);
+    const double b = rng.uniform(-2, 2);
+    const double c = rng.uniform(-2, 2);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    x(i, 2) = c;
+    y[i] = 3.0 * a - 2.0 * b + 0.5 * c + 7.0;
+  }
+  LinearRegression reg;
+  const auto rep = reg.fit(x, y);
+  EXPECT_NEAR(rep.r2, 1.0, 1e-9);
+  // predictions are exact even though coefficients live in z-space
+  const auto pred = reg.predict(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(pred[i], y[i], 1e-8);
+}
+
+TEST(Regression, IrrelevantFeatureHasHighPValue) {
+  Rng rng(23);
+  const std::size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);  // pure noise feature
+    y[i] = 5.0 * x(i, 0) + 0.05 * rng.normal();
+  }
+  LinearRegression reg;
+  const auto rep = reg.fit(x, y);
+  EXPECT_LT(rep.p_values[0], 0.001);  // real predictor: significant
+  EXPECT_GT(rep.p_values[1], 0.05);   // noise: not significant
+  EXPECT_GT(std::abs(rep.t_stats[0]), std::abs(rep.t_stats[1]));
+}
+
+TEST(Regression, RejectsDegenerateShapes) {
+  Matrix x(3, 4);
+  std::vector<double> y(3);
+  LinearRegression reg;
+  EXPECT_THROW(reg.fit(x, y), ConfigError);  // fewer samples than features
+  EXPECT_THROW(reg.predict(x), ConfigError);  // predict before fit
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = x^2 (3 - 2x)
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.25), 0.25 * 0.25 * 2.5, 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 1.0), 1.0);
+}
+
+TEST(TTest, PValueSanity) {
+  // t = 0 -> p = 1; large |t| -> p -> 0; symmetric in sign.
+  EXPECT_NEAR(t_test_p_value(0.0, 30), 1.0, 1e-12);
+  EXPECT_LT(t_test_p_value(5.0, 30), 1e-4);
+  EXPECT_NEAR(t_test_p_value(2.0, 30), t_test_p_value(-2.0, 30), 1e-12);
+  // with 10 dof, |t| = 2.228 is the classic 5% two-sided critical value
+  EXPECT_NEAR(t_test_p_value(2.228, 10), 0.05, 0.002);
+}
+
+// ---------- predictor ----------------------------------------------------
+
+TEST(Predictor, LearnsSyntheticScalingLaw) {
+  // Target factor is linear in the stall ratio: factor = 1 + 2*stall.
+  Rng rng(31);
+  std::vector<TrainingRow> rows;
+  for (int i = 0; i < 100; ++i) {
+    TrainingRow r;
+    const double insns = rng.uniform(1e8, 1e10);
+    const double cycles = insns * rng.uniform(0.5, 4.0);
+    const double stall = rng.uniform(0.0, 0.9);
+    r.events = {insns, cycles, stall * cycles, 0.4 * stall * cycles,
+                insns / 100, insns / 400};
+    r.sampled_ipc = insns / cycles;
+    r.target_ipc = r.sampled_ipc * (1.0 + 2.0 * stall);
+    rows.push_back(r);
+  }
+  IpcPredictor model;
+  model.fit(rows);
+  EXPECT_TRUE(model.fitted());
+  // held-out probe
+  for (double stall : {0.1, 0.5, 0.8}) {
+    const double insns = 5e9;
+    const double cycles = 1e10;
+    const std::array<double, 6> ev = {insns,        cycles,
+                                      stall * cycles, 0.4 * stall * cycles,
+                                      insns / 100,  insns / 400};
+    const double sampled = insns / cycles;
+    const double predicted = model.predict(ev, sampled);
+    EXPECT_NEAR(predicted, sampled * (1.0 + 2.0 * stall), 0.05 * predicted);
+  }
+}
+
+TEST(Predictor, PrunesButKeepsAtLeastTwoFeatures) {
+  Rng rng(37);
+  std::vector<TrainingRow> rows;
+  for (int i = 0; i < 60; ++i) {
+    TrainingRow r;
+    const double insns = rng.uniform(1e8, 1e9);
+    r.events = {insns, 2 * insns, rng.uniform(0, 1e8), rng.uniform(0, 1e8),
+                rng.uniform(0, 1e7), rng.uniform(0, 1e7)};
+    r.sampled_ipc = 0.5;
+    r.target_ipc = 0.5;  // constant target: nothing is predictive
+    rows.push_back(r);
+  }
+  IpcPredictor model;
+  model.fit(rows, /*p_threshold=*/0.0001);
+  int active = 0;
+  for (bool b : model.active()) active += b;
+  EXPECT_GE(active, 2);
+}
+
+TEST(Predictor, AccuracyMetric) {
+  EXPECT_DOUBLE_EQ(prediction_accuracy(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(prediction_accuracy(0.9, 1.0), 0.9);
+  EXPECT_DOUBLE_EQ(prediction_accuracy(1.1, 1.0), 0.9);
+  EXPECT_DOUBLE_EQ(prediction_accuracy(5.0, 0.0), 0.0);
+}
+
+TEST(Predictor, CombinePhaseIpcs) {
+  // two phases, equal instructions, IPC 1 and 2 -> harmonic-style 4/3
+  EXPECT_NEAR(combine_phase_ipcs({1e9, 1e9}, {1.0, 2.0}), 4.0 / 3.0, 1e-12);
+  // weight dominance
+  EXPECT_NEAR(combine_phase_ipcs({1e12, 1.0}, {1.0, 100.0}), 1.0, 1e-6);
+  EXPECT_THROW(combine_phase_ipcs({1.0}, {1.0, 2.0}), ConfigError);
+  EXPECT_THROW(combine_phase_ipcs({1.0}, {0.0}), ConfigError);
+}
+
+TEST(Predictor, AggregateByPhase) {
+  std::vector<CounterSample> samples(3);
+  samples[0].phase = "a";
+  samples[0].delta.instructions = 100;
+  samples[0].delta.cycles_active = 200;
+  samples[1].phase = "b";
+  samples[1].delta.instructions = 10;
+  samples[1].delta.cycles_active = 10;
+  samples[2].phase = "a";
+  samples[2].delta.instructions = 300;
+  samples[2].delta.cycles_active = 200;
+  const auto agg = aggregate_by_phase(samples);
+  ASSERT_EQ(agg.size(), 2u);
+  // map ordering: "a" then "b"
+  EXPECT_EQ(agg[0].phase, "a");
+  EXPECT_DOUBLE_EQ(agg[0].instructions, 400.0);
+  EXPECT_DOUBLE_EQ(agg[0].ipc, 1.0);
+  EXPECT_DOUBLE_EQ(agg[1].ipc, 1.0);
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,155 @@
+// Two-socket NUMA topology tests: placement policies (the simulated
+// numactl), per-socket capacity, UPI link constraints, and the ablation
+// orderings the paper's Sec. IV-A references ("severe NUMA effects").
+#include <gtest/gtest.h>
+
+#include "harness/registry.hpp"
+#include "mem/buffer.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+SystemConfig two_sockets(Mode mode, NumaPolicy policy) {
+  SystemConfig cfg = SystemConfig::testbed(mode);
+  cfg.sockets = 2;
+  cfg.numa_policy = policy;
+  return cfg;
+}
+
+Phase big_read(BufferId id, int threads = 24) {
+  return PhaseBuilder("probe")
+      .threads(threads)
+      .stream(seq_read(id, 4 * GiB))
+      .build();
+}
+
+TEST(Numa, ConfigValidation) {
+  SystemConfig cfg = SystemConfig::testbed(Mode::kDramOnly);
+  cfg.sockets = 3;
+  EXPECT_THROW(MemorySystem{cfg}, ConfigError);
+  cfg = SystemConfig::testbed(Mode::kDramOnly);
+  cfg.numa_policy = NumaPolicy::kRemoteSocket;  // needs two sockets
+  EXPECT_THROW(MemorySystem{cfg}, ConfigError);
+  cfg = two_sockets(Mode::kCachedNvm, NumaPolicy::kLocalSocket);
+  EXPECT_THROW(MemorySystem{cfg}, ConfigError);  // Memory mode: one socket
+  cfg = two_sockets(Mode::kUncachedNvm, NumaPolicy::kLocalSocket);
+  cfg.upi_bw = 0.0;
+  EXPECT_THROW(MemorySystem{cfg}, ConfigError);
+}
+
+TEST(Numa, PolicyAssignsBufferSocket) {
+  for (const auto& [policy, numa] :
+       std::vector<std::pair<NumaPolicy, int>>{
+           {NumaPolicy::kLocalSocket, 0},
+           {NumaPolicy::kRemoteSocket, 1},
+           {NumaPolicy::kInterleave, -1}}) {
+    MemorySystem sys(two_sockets(Mode::kUncachedNvm, policy));
+    const auto id = sys.register_buffer("b", MiB);
+    EXPECT_EQ(sys.buffer(id).numa, numa) << to_string(policy);
+  }
+}
+
+TEST(Numa, RemoteAccessIsSlower) {
+  double local_time = 0.0;
+  double remote_time = 0.0;
+  for (const auto policy :
+       {NumaPolicy::kLocalSocket, NumaPolicy::kRemoteSocket}) {
+    MemorySystem sys(two_sockets(Mode::kUncachedNvm, policy));
+    const auto id = sys.register_buffer("b", 8 * MiB);
+    (void)sys.submit(big_read(id));
+    (policy == NumaPolicy::kLocalSocket ? local_time : remote_time) =
+        sys.now();
+  }
+  EXPECT_GT(remote_time, 1.2 * local_time);
+}
+
+TEST(Numa, InterleaveBeatsLocalForBandwidthBoundReads) {
+  // Interleaving aggregates both sockets' NVM read bandwidth; the remote
+  // half is UPI-limited but still additive.  Remote-only is the slowest.
+  double time[3];
+  int i = 0;
+  for (const auto policy :
+       {NumaPolicy::kLocalSocket, NumaPolicy::kInterleave,
+        NumaPolicy::kRemoteSocket}) {
+    MemorySystem sys(two_sockets(Mode::kUncachedNvm, policy));
+    const auto id = sys.register_buffer("b", 8 * MiB);
+    (void)sys.submit(big_read(id));
+    time[i++] = sys.now();
+  }
+  EXPECT_LT(time[1], time[0]);  // interleave < local (more bandwidth)
+  EXPECT_LT(time[0], time[2]);  // local < remote (UPI-capped)
+}
+
+TEST(Numa, InterleaveCanBeatLocalWhenDeviceBound) {
+  // Interleaving adds the remote socket's (coherence-derated) NVM write
+  // bandwidth: a write-bound stream runs measurably faster interleaved.
+  double local_time = 0.0;
+  double il_time = 0.0;
+  for (const auto policy :
+       {NumaPolicy::kLocalSocket, NumaPolicy::kInterleave}) {
+    MemorySystem sys(two_sockets(Mode::kUncachedNvm, policy));
+    const auto id = sys.register_buffer("b", 8 * MiB);
+    (void)sys.submit(PhaseBuilder("w")
+                         .threads(4)
+                         .stream(seq_write(id, 4 * GiB))
+                         .build());
+    (policy == NumaPolicy::kLocalSocket ? local_time : il_time) = sys.now();
+  }
+  EXPECT_LT(il_time, 0.9 * local_time);
+}
+
+TEST(Numa, UpiLinkCapsRemoteBandwidth) {
+  MemorySystem sys(two_sockets(Mode::kDramOnly, NumaPolicy::kRemoteSocket));
+  const auto id = sys.register_buffer("b", 8 * MiB);
+  (void)sys.submit(big_read(id));
+  // 4 GiB over a 31.2 GB/s link: the link, not the remote DRAM (105 GB/s),
+  // is the constraint.
+  const double link_floor =
+      4.0 * static_cast<double>(GiB) / sys.config().upi_bw;
+  EXPECT_GE(sys.now(), link_floor * 0.999);
+  EXPECT_LE(sys.now(), link_floor * 1.25);
+}
+
+TEST(Numa, PerSocketCapacityWithInterleave) {
+  // A buffer larger than one socket's DRAM fits when interleaved.
+  MemorySystem il(two_sockets(Mode::kDramOnly, NumaPolicy::kInterleave));
+  EXPECT_NO_THROW(il.register_buffer("big", 120 * MiB));
+  MemorySystem local(two_sockets(Mode::kDramOnly, NumaPolicy::kLocalSocket));
+  EXPECT_THROW(local.register_buffer("big", 120 * MiB), CapacityError);
+}
+
+TEST(Numa, AppLevelRemoteIsAlwaysSlowest) {
+  AppConfig cfg;
+  cfg.threads = 36;
+  double time[3];
+  int i = 0;
+  for (const auto policy :
+       {NumaPolicy::kLocalSocket, NumaPolicy::kInterleave,
+        NumaPolicy::kRemoteSocket}) {
+    const auto r = run_app_on(
+        "xsbench", two_sockets(Mode::kUncachedNvm, policy), cfg);
+    time[i++] = r.runtime;
+  }
+  // remote-only is the pathological case the paper avoids
+  EXPECT_GT(time[2], time[0]);
+  EXPECT_GT(time[2], time[1]);
+  // interleave stays within a factor of local (half the traffic is local)
+  EXPECT_LT(time[1], 1.2 * time[0]);
+  EXPECT_GT(time[1], 0.4 * time[0]);
+}
+
+TEST(Numa, SingleSocketBehaviourUnchanged) {
+  // The default configuration must be bit-identical to the pre-topology
+  // model: this pins the calibration.
+  AppConfig cfg;
+  cfg.threads = 36;
+  const auto a = run_app("superlu", Mode::kUncachedNvm, cfg);
+  SystemConfig one = SystemConfig::testbed(Mode::kUncachedNvm);
+  one.sockets = 1;
+  const auto b = run_app_on("superlu", one, cfg);
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,189 @@
+// Tests for the write-aware placement planner and the storage-tier /
+// snapshot machinery.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/buffer.hpp"
+#include "placement/write_aware.hpp"
+#include "prof/data_profile.hpp"
+#include "simcore/units.hpp"
+#include "storage/tiers.hpp"
+
+namespace nvms {
+namespace {
+
+BufferProfile mk(const std::string& name, std::uint64_t bytes,
+                 std::uint64_t rd, std::uint64_t wr) {
+  BufferProfile p;
+  p.name = name;
+  p.bytes = bytes;
+  p.read_bytes = rd;
+  p.write_bytes = wr;
+  return p;
+}
+
+// ---------- write-aware planner ------------------------------------------
+
+TEST(WriteAware, PicksHighestWriteIntensityFirst) {
+  const std::vector<BufferProfile> profiles = {
+      mk("cold", 10 * MiB, 100 * MiB, 0),
+      mk("hot", 10 * MiB, 10 * MiB, 200 * MiB),
+      mk("warm", 10 * MiB, 10 * MiB, 50 * MiB),
+  };
+  const auto r = write_aware_plan(profiles, 15 * MiB);
+  ASSERT_EQ(r.in_dram.size(), 1u);
+  EXPECT_EQ(r.in_dram[0], "hot");
+  EXPECT_EQ(r.plan.lookup("hot"), Placement::kDram);
+  EXPECT_EQ(r.plan.lookup("warm"), Placement::kAuto);
+  EXPECT_EQ(r.dram_bytes, 10 * MiB);
+  EXPECT_EQ(r.total_bytes, 30 * MiB);
+}
+
+TEST(WriteAware, RespectsBudgetExactly) {
+  const std::vector<BufferProfile> profiles = {
+      mk("a", 10 * MiB, 0, 100 * MiB),
+      mk("b", 10 * MiB, 0, 90 * MiB),
+      mk("c", 5 * MiB, 0, 80 * MiB),
+  };
+  const auto r = write_aware_plan(profiles, 16 * MiB);
+  // intensities: c = 16, a = 10, b = 9.  Greedy: c (5 MiB) fits, a
+  // (10 MiB) fits, b (10 MiB) would exceed the 16 MiB budget.
+  EXPECT_EQ(r.dram_bytes, 15 * MiB);
+  ASSERT_EQ(r.in_dram.size(), 2u);
+  EXPECT_EQ(r.in_dram[0], "c");
+  EXPECT_EQ(r.in_dram[1], "a");
+}
+
+TEST(WriteAware, NeverPromotesWritelessBuffers) {
+  const std::vector<BufferProfile> profiles = {
+      mk("readonly", 1 * MiB, 500 * MiB, 0),
+  };
+  const auto r = write_aware_plan(profiles, 100 * MiB);
+  EXPECT_TRUE(r.in_dram.empty());
+}
+
+TEST(WriteAware, ZeroBudgetPromotesNothing) {
+  const std::vector<BufferProfile> profiles = {mk("x", 1 * MiB, 0, 1 * MiB)};
+  const auto r = write_aware_plan(profiles, 0);
+  EXPECT_TRUE(r.in_dram.empty());
+}
+
+TEST(ReadAware, RanksByReadIntensityAndExcludes) {
+  const std::vector<BufferProfile> profiles = {
+      mk("writer", 10 * MiB, 10 * MiB, 200 * MiB),
+      mk("reader", 10 * MiB, 300 * MiB, 0),
+      mk("mild", 10 * MiB, 50 * MiB, 0),
+  };
+  const auto r = read_aware_plan(profiles, 10 * MiB, {"writer"});
+  ASSERT_EQ(r.in_dram.size(), 1u);
+  EXPECT_EQ(r.in_dram[0], "reader");
+}
+
+TEST(PlacementPlan, LookupDefaultsToAuto) {
+  PlacementPlan plan;
+  EXPECT_EQ(plan.lookup("missing"), Placement::kAuto);
+  plan.set("x", Placement::kDram);
+  EXPECT_EQ(plan.lookup("x"), Placement::kDram);
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(DataProfile, MergesByNameAndSorts) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto a = sys.register_buffer("hot", 1 * MiB);
+  const auto b = sys.register_buffer("cold", 1 * MiB);
+  Phase p = PhaseBuilder("p")
+                .threads(8)
+                .stream(seq_write(a, 64 * MiB))
+                .stream(seq_read(b, 64 * MiB))
+                .build();
+  (void)sys.submit(p);
+  sys.release_buffer(a);
+  // re-allocation of the same logical structure
+  const auto a2 = sys.register_buffer("hot", 2 * MiB);
+  (void)sys.submit(PhaseBuilder("q")
+                       .threads(8)
+                       .stream(seq_write(a2, 32 * MiB))
+                       .build());
+  const auto profiles = collect_data_profile(sys);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "hot");  // highest write intensity first
+  EXPECT_EQ(profiles[0].write_bytes, 96 * MiB);
+  EXPECT_EQ(profiles[0].bytes, 2 * MiB);  // max of the re-allocations
+  EXPECT_EQ(profiles[1].name, "cold");
+  EXPECT_EQ(profiles[1].write_bytes, 0u);
+}
+
+// ---------- storage tiers --------------------------------------------------
+
+TEST(StorageTiers, FourTiersInHierarchyOrder) {
+  const auto& tiers = StorageTier::all();
+  ASSERT_EQ(tiers.size(), 4u);
+  EXPECT_EQ(tiers[0].kind, TierKind::kTmpfs);
+  EXPECT_FALSE(tiers[0].persistent);
+  for (std::size_t i = 1; i < tiers.size(); ++i) EXPECT_TRUE(tiers[i].persistent);
+}
+
+TEST(StorageTiers, SnapshotTimesFollowHierarchy) {
+  std::map<TierKind, double> time;
+  for (const auto& tier : StorageTier::all()) {
+    MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+    const auto src = sys.register_buffer("state", 24 * MiB, Placement::kDram);
+    SnapshotWriter w(sys, tier);
+    time[tier.kind] = w.write(src, 24 * MiB, 8);
+    EXPECT_EQ(w.snapshots(), 1);
+    EXPECT_GT(w.total_time(), 0.0);
+  }
+  EXPECT_LT(time[TierKind::kTmpfs], time[TierKind::kDaxNvm]);
+  EXPECT_LT(time[TierKind::kDaxNvm], time[TierKind::kRaidExt4]);
+  EXPECT_LT(time[TierKind::kRaidExt4], time[TierKind::kLustre]);
+}
+
+TEST(StorageTiers, DaxWritesLandOnNvm) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto src = sys.register_buffer("state", 8 * MiB, Placement::kDram);
+  SnapshotWriter w(sys, StorageTier::by_kind(TierKind::kDaxNvm));
+  (void)w.write(src, 8 * MiB, 8);
+  EXPECT_GT(sys.traces().nvm_write.time_average(), 0.0);
+  EXPECT_DOUBLE_EQ(sys.traces().nvm_read.time_average(), 0.0);
+}
+
+TEST(StorageTiers, BlockTierDrainsOutsideMemorySystem) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto src = sys.register_buffer("state", 8 * MiB, Placement::kDram);
+  SnapshotWriter w(sys, StorageTier::by_kind(TierKind::kLustre));
+  const double dt = w.write(src, 8 * MiB, 8);
+  // dominated by bytes / tier write bandwidth
+  const double expect = 8.0 * static_cast<double>(MiB) / gbps(0.8);
+  EXPECT_GT(dt, expect);
+  EXPECT_DOUBLE_EQ(sys.traces().nvm_write.time_average(), 0.0);
+}
+
+TEST(StorageTiers, RepeatedSnapshotsAccumulate) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto src = sys.register_buffer("state", 4 * MiB, Placement::kDram);
+  SnapshotWriter w(sys, StorageTier::by_kind(TierKind::kDaxNvm));
+  for (int i = 0; i < 5; ++i) (void)w.write(src, 4 * MiB, 8);
+  EXPECT_EQ(w.snapshots(), 5);
+  EXPECT_NEAR(w.total_time(), 5.0 * w.total_time() / 5.0, 1e-12);
+}
+
+TEST(StorageTiers, EmptySnapshotRejected) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto src = sys.register_buffer("state", 4 * MiB, Placement::kDram);
+  SnapshotWriter w(sys, StorageTier::by_kind(TierKind::kTmpfs));
+  EXPECT_THROW(w.write(src, 0, 8), ConfigError);
+}
+
+TEST(MemorySystemAdvance, RecordsZeroTrafficPhase) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kDramOnly));
+  sys.advance("io-wait", 0.25);
+  EXPECT_DOUBLE_EQ(sys.now(), 0.25);
+  ASSERT_EQ(sys.traces().phases.size(), 1u);
+  EXPECT_EQ(sys.traces().phases[0].name, "io-wait");
+  EXPECT_DOUBLE_EQ(sys.traces().dram_read.time_average(), 0.0);
+  EXPECT_THROW(sys.advance("bad", -1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace nvms

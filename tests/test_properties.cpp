@@ -1,0 +1,215 @@
+// Property-based tests (parameterized sweeps) over the simulator's core
+// invariants: monotonicity, conservation, and bound properties that must
+// hold for *every* configuration, not just the calibrated points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memsim/dram_cache.hpp"
+#include "memsim/memory_system.hpp"
+#include "memsim/resolve.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+struct Rig {
+  DeviceParams dram = ddr4_socket_params(96 * GiB);
+  DeviceParams nvm = optane_socket_params(768 * GiB);
+  CpuParams cpu;
+};
+
+// ---------- resolver invariants over a thread sweep -----------------------
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, AchievedBandwidthNeverExceedsCapacity) {
+  Rig rig;
+  const int threads = GetParam();
+  Phase p;
+  p.name = "probe";
+  p.threads = threads;
+  DeviceDemand dem;
+  dem.add(Pattern::kSequential, Dir::kRead, 8 * GiB);
+  dem.add(Pattern::kSequential, Dir::kWrite, 2 * GiB);
+  const auto res = resolve_phase(p, {}, dem, rig.dram, rig.nvm, rig.cpu);
+  EXPECT_LE(res.nvm.read_bw,
+            rig.nvm.read_capacity(PatClass::kSeq, threads) * 1.001);
+  EXPECT_LE(res.nvm.write_bw,
+            rig.nvm.write_capacity(PatClass::kSeq, threads) * 1.001);
+  EXPECT_GE(res.nvm.throttle, 1e-3);
+  EXPECT_LE(res.nvm.throttle, 1.0);
+  EXPECT_GE(res.nvm.wpq_util, 0.0);
+  EXPECT_LE(res.nvm.wpq_util, 1.0);
+}
+
+TEST_P(ThreadSweep, PureComputeScalesWithThreads) {
+  Rig rig;
+  const int threads = GetParam();
+  Phase p;
+  p.name = "compute";
+  p.threads = threads;
+  p.flops = 1e10;
+  const auto res = resolve_phase(p, {}, {}, rig.dram, rig.nvm, rig.cpu);
+  Phase p1 = p;
+  p1.threads = 1;
+  const auto res1 = resolve_phase(p1, {}, {}, rig.dram, rig.nvm, rig.cpu);
+  EXPECT_LE(res.time, res1.time + 1e-12);
+  EXPECT_NEAR(res1.time / res.time, rig.cpu.core_equivalents(threads), 1e-6);
+}
+
+TEST_P(ThreadSweep, CountersConsistent) {
+  Rig rig;
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  const auto id = sys.register_buffer("b", 8 * MiB);
+  Phase p = PhaseBuilder("p")
+                .threads(GetParam())
+                .flops(1e8)
+                .stream(seq_read(id, 64 * MiB))
+                .stream(seq_write(id, 16 * MiB))
+                .build();
+  (void)sys.submit(p);
+  const auto& c = sys.counters();
+  EXPECT_GE(c.cycles_active, c.stall_cycles);
+  EXPECT_GE(c.stall_cycles, c.offcore_wait);
+  EXPECT_NEAR(c.imc_reads * 64.0, 64.0 * static_cast<double>(MiB), 64.0);
+  EXPECT_NEAR(c.imc_writes * 64.0, 16.0 * static_cast<double>(MiB), 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 24, 36, 48,
+                                           96));
+
+// ---------- monotonicity in problem size ----------------------------------
+
+class ByteSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ByteSweep, TimeMonotoneInBytes) {
+  Rig rig;
+  Phase p;
+  p.name = "probe";
+  p.threads = 24;
+  DeviceDemand small;
+  small.add(Pattern::kStrided, Dir::kRead, GetParam());
+  DeviceDemand large;
+  large.add(Pattern::kStrided, Dir::kRead, GetParam() * 2);
+  const auto rs = resolve_phase(p, {}, small, rig.dram, rig.nvm, rig.cpu);
+  const auto rl = resolve_phase(p, {}, large, rig.dram, rig.nvm, rig.cpu);
+  EXPECT_GE(rl.time, rs.time);
+  EXPECT_NEAR(rl.time / rs.time, 2.0, 0.01);  // linear when uncoupled
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, ByteSweep,
+                         ::testing::Values(64 * KiB, 1 * MiB, 64 * MiB,
+                                           1 * GiB));
+
+// ---------- pattern ordering ----------------------------------------------
+
+class PatternCase : public ::testing::TestWithParam<Pattern> {};
+
+TEST_P(PatternCase, NvmNeverFasterThanDram) {
+  Rig rig;
+  Phase p;
+  p.name = "probe";
+  p.threads = 24;
+  for (const Dir dir : {Dir::kRead, Dir::kWrite}) {
+    DeviceDemand dem;
+    dem.add(GetParam(), dir, 256 * MiB);
+    const auto on_dram = resolve_phase(p, dem, {}, rig.dram, rig.nvm, rig.cpu);
+    const auto on_nvm = resolve_phase(p, {}, dem, rig.dram, rig.nvm, rig.cpu);
+    EXPECT_LE(on_dram.time, on_nvm.time) << to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PatternCase,
+                         ::testing::Values(Pattern::kSequential,
+                                           Pattern::kStrided,
+                                           Pattern::kRandom));
+
+// ---------- cache conservation under fuzzed streams ------------------------
+
+class CacheFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheFuzz, ConservationAndBounds) {
+  Rng rng(GetParam());
+  CacheParams cp;
+  cp.line = 4 * KiB;
+  cp.capacity = (1 + rng.below(64)) * MiB;
+  DramCache cache(cp);
+
+  for (int i = 0; i < 40; ++i) {
+    StreamDesc s;
+    s.buffer = 0;
+    s.bytes = (1 + rng.below(64)) * MiB;
+    s.pattern = rng.below(3) == 0   ? Pattern::kRandom
+                : rng.below(2) == 0 ? Pattern::kStrided
+                                    : Pattern::kSequential;
+    s.dir = rng.below(2) == 0 ? Dir::kRead : Dir::kWrite;
+    s.reuse = static_cast<std::uint32_t>(1 + rng.below(4));
+    const std::uint64_t buf_size = (1 + rng.below(128)) * MiB;
+    const std::uint64_t base = rng.below(16) * (1ull << 30);
+
+    const auto out = cache.access(s, base, buf_size);
+    const std::uint64_t touches = std::max<std::uint64_t>(s.bytes / cp.line, 1);
+    // hits + misses account for (approximately, due to sampling) the touches
+    EXPECT_NEAR(static_cast<double>(out.hits + out.misses),
+                static_cast<double>(touches),
+                0.15 * static_cast<double>(touches) + 4.0);
+    // NVM fetch traffic is line-per-miss (up to sampling round-off)
+    const double fetch =
+        static_cast<double>(out.nvm_read + out.nvm_read_scattered);
+    const double expect = static_cast<double>(out.misses * cp.line);
+    EXPECT_NEAR(fetch, expect,
+                0.002 * expect + static_cast<double>(cp.line));
+    // fills never exceed misses (+ stores), writebacks never exceed misses
+    EXPECT_LE(out.nvm_write, (out.misses + out.hits) * cp.line);
+    EXPECT_GE(cache.occupancy(), 0.0);
+    EXPECT_LE(cache.occupancy(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz,
+                         ::testing::Values(11, 23, 37, 53, 71));
+
+// ---------- end-to-end determinism under fuzzed phases ---------------------
+
+class PhaseFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhaseFuzz, SubmitAlwaysAdvancesAndStaysFinite) {
+  Rng rng(GetParam());
+  MemorySystem sys(SystemConfig::testbed(Mode::kCachedNvm));
+  const auto id = sys.register_buffer("fuzz", (1 + rng.below(256)) * MiB);
+  for (int i = 0; i < 30; ++i) {
+    PhaseBuilder b("fuzz");
+    b.threads(static_cast<int>(1 + rng.below(48)));
+    b.flops(rng.uniform(0.0, 1e10));
+    b.mlp(rng.uniform(0.5, 16.0));
+    b.overlap(rng.uniform(0.0, 1.0));
+    b.parallel_fraction(rng.uniform(0.0, 1.0));
+    const int streams = static_cast<int>(rng.below(4));
+    for (int s = 0; s < streams; ++s) {
+      StreamDesc d;
+      d.buffer = id;
+      d.bytes = rng.below(64 * MiB);
+      d.pattern = rng.below(2) == 0 ? Pattern::kSequential : Pattern::kRandom;
+      d.dir = rng.below(2) == 0 ? Dir::kRead : Dir::kWrite;
+      d.granule = 64 << rng.below(6);
+      b.stream(d);
+    }
+    const double before = sys.now();
+    const auto res = sys.submit(b.build());
+    EXPECT_TRUE(std::isfinite(res.time));
+    EXPECT_GE(res.time, 0.0);
+    EXPECT_GE(sys.now(), before);
+  }
+  // trace bookkeeping stayed consistent
+  EXPECT_EQ(sys.traces().phases.size(), 30u);
+  EXPECT_TRUE(std::isfinite(sys.counters().ipc()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseFuzz,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,219 @@
+// Unit tests for the simcore module: units, RNG, statistics, time series,
+// and the text-table printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "simcore/error.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/table.hpp"
+#include "simcore/time_series.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(ns(174), 174e-9);
+  EXPECT_DOUBLE_EQ(gbps(39), 39e9);
+  EXPECT_DOUBLE_EQ(mbps(500), 5e8);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3 * GiB), "3.00 GiB");
+}
+
+TEST(Units, FormatBandwidthAndTime) {
+  EXPECT_EQ(format_bandwidth(gbps(12.34)), "12.34 GB/s");
+  EXPECT_EQ(format_bandwidth(mbps(40)), "40.0 MB/s");
+  EXPECT_EQ(format_time(ns(174)), "174.0 ns");
+  EXPECT_EQ(format_time(1.5), "1.500 s");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToHalf) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Stats, OnlineBasics) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), ConfigError);
+  EXPECT_THROW(percentile({1.0}, 1.5), ConfigError);
+}
+
+TEST(Stats, MovingAverage) {
+  MovingAverage m(3);
+  EXPECT_DOUBLE_EQ(m.add(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.add(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(m.add(9.0), 6.0);
+  EXPECT_TRUE(m.full());
+  EXPECT_DOUBLE_EQ(m.add(12.0), 9.0);  // window slides off the 3
+}
+
+TEST(TimeSeries, SegmentsAndAverages) {
+  TimeSeries ts;
+  ts.add_segment(0.0, 1.0, 10.0);
+  ts.add_segment(1.0, 3.0, 40.0);
+  EXPECT_DOUBLE_EQ(ts.time_average(), (10.0 + 80.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ts.peak(), 40.0);
+  EXPECT_DOUBLE_EQ(ts.at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(2.0), 40.0);
+  EXPECT_DOUBLE_EQ(ts.at(5.0), 0.0);
+}
+
+TEST(TimeSeries, ResampleConservesTimeAverage) {
+  TimeSeries ts;
+  ts.add_segment(0.0, 1.0, 2.0);
+  ts.add_segment(1.0, 2.0, 6.0);
+  const auto samples = ts.resample(8);
+  ASSERT_EQ(samples.size(), 8u);
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= 8.0;
+  EXPECT_NEAR(mean, ts.time_average(), 1e-9);
+  EXPECT_DOUBLE_EQ(samples.front(), 2.0);
+  EXPECT_DOUBLE_EQ(samples.back(), 6.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrderSegments) {
+  TimeSeries ts;
+  ts.add_segment(1.0, 2.0, 1.0);
+  EXPECT_THROW(ts.add_segment(0.0, 0.5, 1.0), ConfigError);
+  EXPECT_THROW(ts.add_segment(3.0, 2.5, 1.0), ConfigError);
+}
+
+TEST(TimeSeries, ZeroLengthSegmentIgnored) {
+  TimeSeries ts;
+  ts.add_segment(0.0, 0.0, 99.0);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TimeSeries, CsvShape) {
+  TimeSeries ts;
+  ts.add_segment(0.0, 2.0, 5.0);
+  const auto csv = ts.to_csv("bw", 4);
+  EXPECT_NE(csv.find("t_s,bw\n"), std::string::npos);
+  // header + 4 rows
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"app", "slowdown"});
+  t.add_row({"HACC", TextTable::num(1.01)});
+  t.add_row({"FFT", TextTable::num(14.92)});
+  const auto out = t.render();
+  EXPECT_NE(out.find("app"), std::string::npos);
+  EXPECT_NE(out.find("14.92"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    require(false, "bad thing");
+    FAIL() << "expected throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad thing"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,128 @@
+// Tests for the structured sweep runner/CSV export and the fixed-window
+// counter re-binning.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/sweep.hpp"
+#include "prof/windows.hpp"
+#include "simcore/error.hpp"
+
+namespace nvms {
+namespace {
+
+// ---------- sweep -----------------------------------------------------------
+
+TEST(Sweep, CartesianProductOrderAndContent) {
+  SweepSpec spec;
+  spec.app = "hacc";
+  spec.modes = {Mode::kDramOnly, Mode::kUncachedNvm};
+  spec.threads = {12, 36};
+  spec.scales = {1.0};
+  const auto rows = run_sweep(spec);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].mode, Mode::kDramOnly);
+  EXPECT_EQ(rows[0].threads, 12);
+  EXPECT_EQ(rows[1].threads, 36);
+  EXPECT_EQ(rows[2].mode, Mode::kUncachedNvm);
+  for (const auto& r : rows) EXPECT_GT(r.result.runtime, 0.0);
+}
+
+TEST(Sweep, OversizedConfigurationsAreSkippedNotFatal) {
+  SweepSpec spec;
+  spec.app = "hypre";
+  spec.modes = {Mode::kDramOnly, Mode::kCachedNvm};
+  spec.threads = {36};
+  spec.scales = {1.0, 3.0};  // 3.0x exceeds DRAM but fits cached-NVM
+  const auto rows = run_sweep(spec);
+  int dram_rows = 0;
+  int cached_rows = 0;
+  for (const auto& r : rows) {
+    (r.mode == Mode::kDramOnly ? dram_rows : cached_rows) += 1;
+  }
+  EXPECT_EQ(dram_rows, 1);    // only the 1.0x fits
+  EXPECT_EQ(cached_rows, 2);  // both fit behind the cache
+}
+
+TEST(Sweep, CsvShape) {
+  SweepSpec spec;
+  spec.app = "hacc";
+  spec.modes = {Mode::kDramOnly};
+  spec.threads = {24};
+  spec.scales = {1.0};
+  const auto csv = sweep_csv(run_sweep(spec));
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "mode,threads,scale,runtime_s,fom,fom_unit,higher_is_better,"
+            "read_bw_gbs,write_bw_gbs,ipc,footprint_bytes");
+  std::string row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_NE(row.find("dram-only,24,1,"), std::string::npos);
+}
+
+TEST(Sweep, Validation) {
+  SweepSpec spec;  // empty app
+  EXPECT_THROW(run_sweep(spec), ConfigError);
+  spec.app = "nope";
+  EXPECT_THROW(run_sweep(spec), ConfigError);
+  spec.app = "hacc";
+  spec.threads = {0};
+  EXPECT_THROW(run_sweep(spec), ConfigError);
+}
+
+// ---------- windowed re-binning ---------------------------------------------
+
+CounterSample mk_sample(const char* phase, double t0, double t1,
+                        double insns) {
+  CounterSample s;
+  s.phase = phase;
+  s.t0 = t0;
+  s.t1 = t1;
+  s.delta.instructions = insns;
+  s.delta.cycles_active = 2 * insns;
+  s.delta.imc_reads = insns / 10;
+  return s;
+}
+
+TEST(Windows, SplitsProportionally) {
+  // one phase spanning [0, 1) with 100 instructions, windows of 0.25s
+  const auto out = rebin_windows({mk_sample("p", 0.0, 1.0, 100)}, 0.25);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& w : out) {
+    EXPECT_NEAR(w.delta.instructions, 25.0, 1e-9);
+    EXPECT_NEAR(w.ipc(), 0.5, 1e-12);
+  }
+}
+
+TEST(Windows, ConservesTotals) {
+  std::vector<CounterSample> samples = {
+      mk_sample("a", 0.0, 0.3, 30),
+      mk_sample("b", 0.3, 0.95, 650),
+      mk_sample("c", 0.95, 1.4, 45),
+  };
+  const auto out = rebin_windows(samples, 0.5);
+  ASSERT_EQ(out.size(), 3u);
+  double total = 0.0;
+  for (const auto& w : out) total += w.delta.instructions;
+  EXPECT_NEAR(total, 725.0, 1e-9);
+  // window boundaries tile the span
+  EXPECT_DOUBLE_EQ(out[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].t0, 0.5);
+  EXPECT_NEAR(out[2].t1, 1.4, 1e-12);
+}
+
+TEST(Windows, WindowLargerThanRunYieldsOneBin) {
+  const auto out = rebin_windows({mk_sample("p", 0.0, 0.2, 10)}, 5.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].delta.instructions, 10.0, 1e-12);
+}
+
+TEST(Windows, EmptyAndInvalidInputs) {
+  EXPECT_TRUE(rebin_windows({}, 0.1).empty());
+  EXPECT_THROW(rebin_windows({mk_sample("p", 0, 1, 1)}, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,96 @@
+// Trace-driven placement optimizer tests: budget discipline, improvement
+// guarantees, and comparison against the write-aware heuristic.
+#include <gtest/gtest.h>
+
+#include "harness/registry.hpp"
+#include "placement/trace_optimizer.hpp"
+#include "placement/write_aware.hpp"
+#include "prof/data_profile.hpp"
+#include "replay/recording.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+namespace {
+
+PhaseRecording record(const std::string& app, int threads = 36) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  TraceCapture capture(sys);
+  AppConfig cfg;
+  cfg.threads = threads;
+  AppContext ctx(sys, cfg);
+  (void)lookup_app(app).run(ctx);
+  return capture.finish();
+}
+
+auto factory() {
+  return [] { return MemorySystem(SystemConfig::testbed(Mode::kUncachedNvm)); };
+}
+
+TEST(TraceOptimizer, ImprovesScalapackWithinBudget) {
+  const auto rec = record("scalapack");
+  const std::uint64_t budget =
+      SystemConfig::testbed(Mode::kUncachedNvm).dram.capacity * 35 / 100;
+  const auto r = optimize_placement(rec, budget, factory());
+  EXPECT_GT(r.baseline_runtime, 0.0);
+  EXPECT_GT(r.speedup(), 2.0);
+  EXPECT_LE(r.dram_bytes, budget);
+  EXPECT_FALSE(r.steps.empty());
+  // the step runtimes are monotone decreasing
+  double prev = r.baseline_runtime;
+  for (const auto& [name, t] : r.steps) {
+    EXPECT_LT(t, prev) << name;
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(prev, r.optimized_runtime);
+}
+
+TEST(TraceOptimizer, NeverWorseThanWriteAwareHeuristic) {
+  for (const std::string app : {"scalapack", "ft"}) {
+    const auto rec = record(app);
+    const std::uint64_t budget =
+        SystemConfig::testbed(Mode::kUncachedNvm).dram.capacity * 35 / 100;
+
+    // heuristic plan from a profiling run
+    MemorySystem prof_sys(SystemConfig::testbed(Mode::kUncachedNvm));
+    AppConfig cfg;
+    cfg.threads = 36;
+    AppContext ctx(prof_sys, cfg);
+    (void)lookup_app(app).run(ctx);
+    const auto heuristic =
+        write_aware_plan(collect_data_profile(prof_sys), budget);
+    auto sys = factory()();
+    const double heuristic_runtime = rec.replay(sys, &heuristic.plan);
+
+    const auto optimized = optimize_placement(rec, budget, factory());
+    EXPECT_LE(optimized.optimized_runtime, heuristic_runtime * 1.0001)
+        << app;
+  }
+}
+
+TEST(TraceOptimizer, ZeroBudgetReturnsBaseline) {
+  const auto rec = record("laghos", 24);
+  const auto r = optimize_placement(rec, 0, factory());
+  EXPECT_EQ(r.dram_bytes, 0u);
+  EXPECT_TRUE(r.steps.empty());
+  EXPECT_DOUBLE_EQ(r.optimized_runtime, r.baseline_runtime);
+}
+
+TEST(TraceOptimizer, ComputeBoundAppGainsLittle) {
+  const auto rec = record("hacc", 24);
+  const auto r = optimize_placement(
+      rec, SystemConfig::testbed(Mode::kUncachedNvm).dram.capacity,
+      factory());
+  EXPECT_LT(r.speedup(), 1.05);  // hacc is compute-bound: nothing to win
+}
+
+TEST(TraceOptimizer, FtGainsFromPlacingTheFftArrays) {
+  // FT's write-throttled arrays in DRAM should recover most of the 12x.
+  const auto rec = record("ft");
+  const auto r = optimize_placement(
+      rec, SystemConfig::testbed(Mode::kUncachedNvm).dram.capacity * 80 / 100,
+      factory());
+  EXPECT_GT(r.speedup(), 4.0);
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,118 @@
+// Unit tests for the traffic vocabulary: stream constructors, pattern
+// classification (granule thresholds), phase builders and aggregates, and
+// the multi-lane resolver's UPI constraint.
+#include <gtest/gtest.h>
+
+#include "memsim/resolve.hpp"
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+#include "trace/pattern.hpp"
+#include "trace/phase.hpp"
+
+namespace nvms {
+namespace {
+
+TEST(Pattern, Classification) {
+  EXPECT_EQ(classify(Pattern::kSequential, 64), PatClass::kSeq);
+  EXPECT_EQ(classify(Pattern::kStrided, 64), PatClass::kStrided);
+  EXPECT_EQ(classify(Pattern::kRandom, 64), PatClass::kRandSmall);
+  EXPECT_EQ(classify(Pattern::kRandom, 255), PatClass::kRandSmall);
+  EXPECT_EQ(classify(Pattern::kRandom, 256), PatClass::kRandLarge);
+  EXPECT_EQ(classify(Pattern::kRandom, 4096), PatClass::kRandLarge);
+  // sequential/strided classification ignores the granule
+  EXPECT_EQ(classify(Pattern::kSequential, 8), PatClass::kSeq);
+}
+
+TEST(Pattern, StreamConstructors) {
+  const auto r = seq_read(3, 100);
+  EXPECT_EQ(r.buffer, 3u);
+  EXPECT_EQ(r.bytes, 100u);
+  EXPECT_EQ(r.pattern, Pattern::kSequential);
+  EXPECT_EQ(r.dir, Dir::kRead);
+  const auto w = rand_write(1, 50).with_granule(512).with_reuse(3, MiB);
+  EXPECT_EQ(w.dir, Dir::kWrite);
+  EXPECT_EQ(w.granule, 512u);
+  EXPECT_EQ(w.reuse, 3u);
+  EXPECT_EQ(w.reuse_block, MiB);
+  EXPECT_STREQ(to_string(Pattern::kStrided), "strided");
+}
+
+TEST(Phase, BuilderAndAggregates) {
+  Phase p = PhaseBuilder("k")
+                .threads(8)
+                .flops(1e6)
+                .parallel_fraction(0.9)
+                .mlp(4)
+                .overlap(0.5)
+                .stream(seq_read(0, 100))
+                .stream(rand_write(1, 40))
+                .stream(strided_read(0, 60))
+                .build();
+  EXPECT_EQ(p.name, "k");
+  EXPECT_EQ(p.threads, 8);
+  EXPECT_DOUBLE_EQ(p.mlp, 4.0);
+  EXPECT_EQ(p.read_bytes(), 160u);
+  EXPECT_EQ(p.write_bytes(), 40u);
+  EXPECT_EQ(p.total_bytes(), 200u);
+}
+
+TEST(DeviceDemand, AccumulatesByClass) {
+  DeviceDemand d;
+  d.add(Pattern::kRandom, Dir::kRead, 100, 64);    // RandSmall
+  d.add(Pattern::kRandom, Dir::kRead, 50, 2048);   // RandLarge
+  d.add(Pattern::kSequential, Dir::kWrite, 70);
+  EXPECT_EQ(d.read[static_cast<int>(PatClass::kRandSmall)], 100u);
+  EXPECT_EQ(d.read[static_cast<int>(PatClass::kRandLarge)], 50u);
+  EXPECT_EQ(d.read_total(), 150u);
+  EXPECT_EQ(d.write_total(), 70u);
+}
+
+TEST(ResolveLanes, UpiConstraintBindsWhenSlow) {
+  const auto dram = ddr4_socket_params(96 * GiB);
+  const CpuParams cpu;
+  Phase p;
+  p.name = "x";
+  p.threads = 24;
+  std::vector<LaneDemand> lanes(1);
+  lanes[0].dev = &dram;
+  lanes[0].dem.add(Pattern::kSequential, Dir::kRead, 1 * GiB);
+  // device alone: ~10 ms at 105 GB/s; a 5 GB/s UPI makes it ~215 ms
+  const auto fast = resolve_lanes(p, lanes, cpu);
+  const auto slow = resolve_lanes(p, lanes, cpu,
+                                  static_cast<double>(GiB), gbps(5));
+  EXPECT_GT(slow.time, 20.0 * fast.time);
+  EXPECT_NEAR(slow.time, static_cast<double>(GiB) / gbps(5), 1e-6);
+}
+
+TEST(ResolveLanes, RejectsUpiTrafficWithoutBandwidth) {
+  const auto dram = ddr4_socket_params(96 * GiB);
+  const CpuParams cpu;
+  Phase p;
+  p.name = "x";
+  p.threads = 4;
+  std::vector<LaneDemand> lanes(1);
+  lanes[0].dev = &dram;
+  EXPECT_THROW(resolve_lanes(p, lanes, cpu, 100.0, 0.0), ConfigError);
+}
+
+TEST(ResolveLanes, ManyLanesTakeTheSlowest) {
+  const auto dram = ddr4_socket_params(96 * GiB);
+  const auto nvm = optane_socket_params(768 * GiB);
+  const CpuParams cpu;
+  Phase p;
+  p.name = "x";
+  p.threads = 24;
+  std::vector<LaneDemand> lanes(4);
+  for (auto& l : lanes) l.dev = &dram;
+  lanes[3].dev = &nvm;
+  for (auto& l : lanes) l.dem.add(Pattern::kSequential, Dir::kRead, GiB);
+  const auto res = resolve_lanes(p, lanes, cpu);
+  const double nvm_floor =
+      static_cast<double>(GiB) / nvm.read_capacity(PatClass::kSeq, 24);
+  EXPECT_NEAR(res.time, nvm_floor, 0.02 * nvm_floor);
+  ASSERT_EQ(res.lanes.size(), 4u);
+  EXPECT_GT(res.lanes[0].read_bw, 0.0);
+}
+
+}  // namespace
+}  // namespace nvms
