@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_placement_optimizer.dir/bench_ext_placement_optimizer.cpp.o"
+  "CMakeFiles/bench_ext_placement_optimizer.dir/bench_ext_placement_optimizer.cpp.o.d"
+  "bench_ext_placement_optimizer"
+  "bench_ext_placement_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_placement_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_model_concurrency.dir/bench_fig10_model_concurrency.cpp.o"
+  "CMakeFiles/bench_fig10_model_concurrency.dir/bench_fig10_model_concurrency.cpp.o.d"
+  "bench_fig10_model_concurrency"
+  "bench_fig10_model_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_model_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_overview.dir/bench_fig2_overview.cpp.o"
+  "CMakeFiles/bench_fig2_overview.dir/bench_fig2_overview.cpp.o.d"
+  "bench_fig2_overview"
+  "bench_fig2_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

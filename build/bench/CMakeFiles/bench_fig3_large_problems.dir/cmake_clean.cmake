@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_large_problems.dir/bench_fig3_large_problems.cpp.o"
+  "CMakeFiles/bench_fig3_large_problems.dir/bench_fig3_large_problems.cpp.o.d"
+  "bench_fig3_large_problems"
+  "bench_fig3_large_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_large_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

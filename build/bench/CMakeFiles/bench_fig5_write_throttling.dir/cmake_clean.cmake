@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_write_throttling.dir/bench_fig5_write_throttling.cpp.o"
+  "CMakeFiles/bench_fig5_write_throttling.dir/bench_fig5_write_throttling.cpp.o.d"
+  "bench_fig5_write_throttling"
+  "bench_fig5_write_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_write_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_checkpoint.cpp" "bench/CMakeFiles/bench_fig9_checkpoint.dir/bench_fig9_checkpoint.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_checkpoint.dir/bench_fig9_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvms_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_sgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_ugrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_laghos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_dwarfs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_appfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_memsim.dir/bench_micro_memsim.cpp.o"
+  "CMakeFiles/bench_micro_memsim.dir/bench_micro_memsim.cpp.o.d"
+  "bench_micro_memsim"
+  "bench_micro_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

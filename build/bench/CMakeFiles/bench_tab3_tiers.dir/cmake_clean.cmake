@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_tiers.dir/bench_tab3_tiers.cpp.o"
+  "CMakeFiles/bench_tab3_tiers.dir/bench_tab3_tiers.cpp.o.d"
+  "bench_tab3_tiers"
+  "bench_tab3_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_critical_events.dir/bench_tab4_critical_events.cpp.o"
+  "CMakeFiles/bench_tab4_critical_events.dir/bench_tab4_critical_events.cpp.o.d"
+  "bench_tab4_critical_events"
+  "bench_tab4_critical_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_critical_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_tiers.dir/checkpoint_tiers.cpp.o"
+  "CMakeFiles/checkpoint_tiers.dir/checkpoint_tiers.cpp.o.d"
+  "checkpoint_tiers"
+  "checkpoint_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_tuning.dir/placement_tuning.cpp.o"
+  "CMakeFiles/placement_tuning.dir/placement_tuning.cpp.o.d"
+  "placement_tuning"
+  "placement_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_kvstore.dir/pmem_kvstore.cpp.o"
+  "CMakeFiles/pmem_kvstore.dir/pmem_kvstore.cpp.o.d"
+  "pmem_kvstore"
+  "pmem_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_appfw.dir/appfw/result.cpp.o"
+  "CMakeFiles/nvms_appfw.dir/appfw/result.cpp.o.d"
+  "libnvms_appfw.a"
+  "libnvms_appfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_appfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_cli.dir/cli/driver.cpp.o"
+  "CMakeFiles/nvms_cli.dir/cli/driver.cpp.o.d"
+  "CMakeFiles/nvms_cli.dir/cli/main.cpp.o"
+  "CMakeFiles/nvms_cli.dir/cli/main.cpp.o.d"
+  "CMakeFiles/nvms_cli.dir/cli/options.cpp.o"
+  "CMakeFiles/nvms_cli.dir/cli/options.cpp.o.d"
+  "libnvms_cli.a"
+  "libnvms_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_dense.dir/dwarfs/dense/scalapack.cpp.o"
+  "CMakeFiles/nvms_dwarfs_dense.dir/dwarfs/dense/scalapack.cpp.o.d"
+  "libnvms_dwarfs_dense.a"
+  "libnvms_dwarfs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

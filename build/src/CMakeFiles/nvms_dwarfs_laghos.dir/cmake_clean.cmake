@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_laghos.dir/dwarfs/laghos/laghos.cpp.o"
+  "CMakeFiles/nvms_dwarfs_laghos.dir/dwarfs/laghos/laghos.cpp.o.d"
+  "libnvms_dwarfs_laghos.a"
+  "libnvms_dwarfs_laghos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_laghos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

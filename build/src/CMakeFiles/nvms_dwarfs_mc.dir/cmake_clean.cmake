@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_mc.dir/dwarfs/mc/xsbench.cpp.o"
+  "CMakeFiles/nvms_dwarfs_mc.dir/dwarfs/mc/xsbench.cpp.o.d"
+  "libnvms_dwarfs_mc.a"
+  "libnvms_dwarfs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

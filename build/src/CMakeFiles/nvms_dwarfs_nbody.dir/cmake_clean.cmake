@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_nbody.dir/dwarfs/nbody/hacc.cpp.o"
+  "CMakeFiles/nvms_dwarfs_nbody.dir/dwarfs/nbody/hacc.cpp.o.d"
+  "libnvms_dwarfs_nbody.a"
+  "libnvms_dwarfs_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

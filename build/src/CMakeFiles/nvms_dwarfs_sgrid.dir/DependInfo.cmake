@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwarfs/sgrid/hypre.cpp" "src/CMakeFiles/nvms_dwarfs_sgrid.dir/dwarfs/sgrid/hypre.cpp.o" "gcc" "src/CMakeFiles/nvms_dwarfs_sgrid.dir/dwarfs/sgrid/hypre.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvms_appfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_sgrid.dir/dwarfs/sgrid/hypre.cpp.o"
+  "CMakeFiles/nvms_dwarfs_sgrid.dir/dwarfs/sgrid/hypre.cpp.o.d"
+  "libnvms_dwarfs_sgrid.a"
+  "libnvms_dwarfs_sgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_sgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_sparse.dir/dwarfs/sparse/sparse_matrix.cpp.o"
+  "CMakeFiles/nvms_dwarfs_sparse.dir/dwarfs/sparse/sparse_matrix.cpp.o.d"
+  "CMakeFiles/nvms_dwarfs_sparse.dir/dwarfs/sparse/superlu.cpp.o"
+  "CMakeFiles/nvms_dwarfs_sparse.dir/dwarfs/sparse/superlu.cpp.o.d"
+  "libnvms_dwarfs_sparse.a"
+  "libnvms_dwarfs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

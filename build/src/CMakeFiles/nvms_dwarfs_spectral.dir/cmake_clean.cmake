@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_spectral.dir/dwarfs/spectral/ft.cpp.o"
+  "CMakeFiles/nvms_dwarfs_spectral.dir/dwarfs/spectral/ft.cpp.o.d"
+  "libnvms_dwarfs_spectral.a"
+  "libnvms_dwarfs_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

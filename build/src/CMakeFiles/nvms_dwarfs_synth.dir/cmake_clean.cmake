@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_synth.dir/dwarfs/synth/gups.cpp.o"
+  "CMakeFiles/nvms_dwarfs_synth.dir/dwarfs/synth/gups.cpp.o.d"
+  "CMakeFiles/nvms_dwarfs_synth.dir/dwarfs/synth/stream.cpp.o"
+  "CMakeFiles/nvms_dwarfs_synth.dir/dwarfs/synth/stream.cpp.o.d"
+  "libnvms_dwarfs_synth.a"
+  "libnvms_dwarfs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_dwarfs_ugrid.dir/dwarfs/ugrid/boxlib.cpp.o"
+  "CMakeFiles/nvms_dwarfs_ugrid.dir/dwarfs/ugrid/boxlib.cpp.o.d"
+  "libnvms_dwarfs_ugrid.a"
+  "libnvms_dwarfs_ugrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_dwarfs_ugrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

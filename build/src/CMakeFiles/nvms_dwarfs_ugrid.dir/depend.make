@@ -1,0 +1,2 @@
+# Empty dependencies file for nvms_dwarfs_ugrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_harness.dir/harness/ascii_plot.cpp.o"
+  "CMakeFiles/nvms_harness.dir/harness/ascii_plot.cpp.o.d"
+  "CMakeFiles/nvms_harness.dir/harness/registry.cpp.o"
+  "CMakeFiles/nvms_harness.dir/harness/registry.cpp.o.d"
+  "CMakeFiles/nvms_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/nvms_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/nvms_harness.dir/harness/sweep.cpp.o"
+  "CMakeFiles/nvms_harness.dir/harness/sweep.cpp.o.d"
+  "libnvms_harness.a"
+  "libnvms_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_mem.dir/mem/space.cpp.o"
+  "CMakeFiles/nvms_mem.dir/mem/space.cpp.o.d"
+  "libnvms_mem.a"
+  "libnvms_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cpu.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/cpu.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/cpu.cpp.o.d"
+  "/root/repo/src/memsim/device.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/device.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/device.cpp.o.d"
+  "/root/repo/src/memsim/dram_cache.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/dram_cache.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/dram_cache.cpp.o.d"
+  "/root/repo/src/memsim/memory_system.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/memory_system.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/memory_system.cpp.o.d"
+  "/root/repo/src/memsim/resolve.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/resolve.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/resolve.cpp.o.d"
+  "/root/repo/src/memsim/scaling_curve.cpp" "src/CMakeFiles/nvms_memsim.dir/memsim/scaling_curve.cpp.o" "gcc" "src/CMakeFiles/nvms_memsim.dir/memsim/scaling_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvms_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_memsim.dir/memsim/cpu.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/cpu.cpp.o.d"
+  "CMakeFiles/nvms_memsim.dir/memsim/device.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/device.cpp.o.d"
+  "CMakeFiles/nvms_memsim.dir/memsim/dram_cache.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/dram_cache.cpp.o.d"
+  "CMakeFiles/nvms_memsim.dir/memsim/memory_system.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/memory_system.cpp.o.d"
+  "CMakeFiles/nvms_memsim.dir/memsim/resolve.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/resolve.cpp.o.d"
+  "CMakeFiles/nvms_memsim.dir/memsim/scaling_curve.cpp.o"
+  "CMakeFiles/nvms_memsim.dir/memsim/scaling_curve.cpp.o.d"
+  "libnvms_memsim.a"
+  "libnvms_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_model.dir/model/linalg.cpp.o"
+  "CMakeFiles/nvms_model.dir/model/linalg.cpp.o.d"
+  "CMakeFiles/nvms_model.dir/model/predictor.cpp.o"
+  "CMakeFiles/nvms_model.dir/model/predictor.cpp.o.d"
+  "CMakeFiles/nvms_model.dir/model/regression.cpp.o"
+  "CMakeFiles/nvms_model.dir/model/regression.cpp.o.d"
+  "libnvms_model.a"
+  "libnvms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_placement.dir/placement/write_aware.cpp.o"
+  "CMakeFiles/nvms_placement.dir/placement/write_aware.cpp.o.d"
+  "libnvms_placement.a"
+  "libnvms_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/log.cpp" "src/CMakeFiles/nvms_pmem.dir/pmem/log.cpp.o" "gcc" "src/CMakeFiles/nvms_pmem.dir/pmem/log.cpp.o.d"
+  "/root/repo/src/pmem/region.cpp" "src/CMakeFiles/nvms_pmem.dir/pmem/region.cpp.o" "gcc" "src/CMakeFiles/nvms_pmem.dir/pmem/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvms_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvms_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_pmem.dir/pmem/log.cpp.o"
+  "CMakeFiles/nvms_pmem.dir/pmem/log.cpp.o.d"
+  "CMakeFiles/nvms_pmem.dir/pmem/region.cpp.o"
+  "CMakeFiles/nvms_pmem.dir/pmem/region.cpp.o.d"
+  "libnvms_pmem.a"
+  "libnvms_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

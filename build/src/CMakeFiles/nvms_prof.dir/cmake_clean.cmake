@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_prof.dir/prof/data_profile.cpp.o"
+  "CMakeFiles/nvms_prof.dir/prof/data_profile.cpp.o.d"
+  "CMakeFiles/nvms_prof.dir/prof/run_recorder.cpp.o"
+  "CMakeFiles/nvms_prof.dir/prof/run_recorder.cpp.o.d"
+  "CMakeFiles/nvms_prof.dir/prof/windows.cpp.o"
+  "CMakeFiles/nvms_prof.dir/prof/windows.cpp.o.d"
+  "libnvms_prof.a"
+  "libnvms_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

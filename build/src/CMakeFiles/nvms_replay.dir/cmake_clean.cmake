@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_replay.dir/replay/recording.cpp.o"
+  "CMakeFiles/nvms_replay.dir/replay/recording.cpp.o.d"
+  "libnvms_replay.a"
+  "libnvms_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

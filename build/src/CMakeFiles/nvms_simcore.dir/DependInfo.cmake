@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/json.cpp" "src/CMakeFiles/nvms_simcore.dir/simcore/json.cpp.o" "gcc" "src/CMakeFiles/nvms_simcore.dir/simcore/json.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/CMakeFiles/nvms_simcore.dir/simcore/stats.cpp.o" "gcc" "src/CMakeFiles/nvms_simcore.dir/simcore/stats.cpp.o.d"
+  "/root/repo/src/simcore/table.cpp" "src/CMakeFiles/nvms_simcore.dir/simcore/table.cpp.o" "gcc" "src/CMakeFiles/nvms_simcore.dir/simcore/table.cpp.o.d"
+  "/root/repo/src/simcore/time_series.cpp" "src/CMakeFiles/nvms_simcore.dir/simcore/time_series.cpp.o" "gcc" "src/CMakeFiles/nvms_simcore.dir/simcore/time_series.cpp.o.d"
+  "/root/repo/src/simcore/units.cpp" "src/CMakeFiles/nvms_simcore.dir/simcore/units.cpp.o" "gcc" "src/CMakeFiles/nvms_simcore.dir/simcore/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

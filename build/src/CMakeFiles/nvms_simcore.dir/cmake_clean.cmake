@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_simcore.dir/simcore/json.cpp.o"
+  "CMakeFiles/nvms_simcore.dir/simcore/json.cpp.o.d"
+  "CMakeFiles/nvms_simcore.dir/simcore/stats.cpp.o"
+  "CMakeFiles/nvms_simcore.dir/simcore/stats.cpp.o.d"
+  "CMakeFiles/nvms_simcore.dir/simcore/table.cpp.o"
+  "CMakeFiles/nvms_simcore.dir/simcore/table.cpp.o.d"
+  "CMakeFiles/nvms_simcore.dir/simcore/time_series.cpp.o"
+  "CMakeFiles/nvms_simcore.dir/simcore/time_series.cpp.o.d"
+  "CMakeFiles/nvms_simcore.dir/simcore/units.cpp.o"
+  "CMakeFiles/nvms_simcore.dir/simcore/units.cpp.o.d"
+  "libnvms_simcore.a"
+  "libnvms_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_storage.dir/storage/tiers.cpp.o"
+  "CMakeFiles/nvms_storage.dir/storage/tiers.cpp.o.d"
+  "libnvms_storage.a"
+  "libnvms_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

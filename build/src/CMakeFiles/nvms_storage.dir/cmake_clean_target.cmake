@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvms_storage.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/pattern.cpp" "src/CMakeFiles/nvms_trace.dir/trace/pattern.cpp.o" "gcc" "src/CMakeFiles/nvms_trace.dir/trace/pattern.cpp.o.d"
+  "/root/repo/src/trace/run_traces.cpp" "src/CMakeFiles/nvms_trace.dir/trace/run_traces.cpp.o" "gcc" "src/CMakeFiles/nvms_trace.dir/trace/run_traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvms_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvms_trace.dir/trace/pattern.cpp.o"
+  "CMakeFiles/nvms_trace.dir/trace/pattern.cpp.o.d"
+  "CMakeFiles/nvms_trace.dir/trace/run_traces.cpp.o"
+  "CMakeFiles/nvms_trace.dir/trace/run_traces.cpp.o.d"
+  "libnvms_trace.a"
+  "libnvms_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvms_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmsim.dir/cli/main.cpp.o"
+  "CMakeFiles/nvmsim.dir/cli/main.cpp.o.d"
+  "nvmsim"
+  "nvmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

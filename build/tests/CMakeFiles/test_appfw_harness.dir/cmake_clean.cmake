@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appfw_harness.dir/test_appfw_harness.cpp.o"
+  "CMakeFiles/test_appfw_harness.dir/test_appfw_harness.cpp.o.d"
+  "test_appfw_harness"
+  "test_appfw_harness.pdb"
+  "test_appfw_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appfw_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwarf_signatures.dir/test_dwarf_signatures.cpp.o"
+  "CMakeFiles/test_dwarf_signatures.dir/test_dwarf_signatures.cpp.o.d"
+  "test_dwarf_signatures"
+  "test_dwarf_signatures.pdb"
+  "test_dwarf_signatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwarf_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwarfs_math.dir/test_dwarfs_math.cpp.o"
+  "CMakeFiles/test_dwarfs_math.dir/test_dwarfs_math.cpp.o.d"
+  "test_dwarfs_math"
+  "test_dwarfs_math.pdb"
+  "test_dwarfs_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwarfs_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

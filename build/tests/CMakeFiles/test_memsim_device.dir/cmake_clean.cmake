@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_device.dir/test_memsim_device.cpp.o"
+  "CMakeFiles/test_memsim_device.dir/test_memsim_device.cpp.o.d"
+  "test_memsim_device"
+  "test_memsim_device.pdb"
+  "test_memsim_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

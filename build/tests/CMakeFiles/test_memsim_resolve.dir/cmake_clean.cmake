@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_resolve.dir/test_memsim_resolve.cpp.o"
+  "CMakeFiles/test_memsim_resolve.dir/test_memsim_resolve.cpp.o.d"
+  "test_memsim_resolve"
+  "test_memsim_resolve.pdb"
+  "test_memsim_resolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_storage.dir/test_placement_storage.cpp.o"
+  "CMakeFiles/test_placement_storage.dir/test_placement_storage.cpp.o.d"
+  "test_placement_storage"
+  "test_placement_storage.pdb"
+  "test_placement_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

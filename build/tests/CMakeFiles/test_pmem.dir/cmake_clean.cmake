@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem.dir/test_pmem.cpp.o"
+  "CMakeFiles/test_pmem.dir/test_pmem.cpp.o.d"
+  "test_pmem"
+  "test_pmem.pdb"
+  "test_pmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_windows.dir/test_sweep_windows.cpp.o"
+  "CMakeFiles/test_sweep_windows.dir/test_sweep_windows.cpp.o.d"
+  "test_sweep_windows"
+  "test_sweep_windows.pdb"
+  "test_sweep_windows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_vocab.dir/test_trace_vocab.cpp.o"
+  "CMakeFiles/test_trace_vocab.dir/test_trace_vocab.cpp.o.d"
+  "test_trace_vocab"
+  "test_trace_vocab.pdb"
+  "test_trace_vocab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_vocab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

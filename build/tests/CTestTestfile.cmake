@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_device[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim_resolve[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_dwarfs_math[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_placement_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_appfw_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_synth_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_pmem[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_dwarf_signatures[1]_include.cmake")
+include("/root/repo/build/tests/test_numa[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep_windows[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_vocab[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
