@@ -10,9 +10,11 @@
 // Plus the remote-socket NUMA ablation the paper's experiments avoid:
 // uncached-NVM slowdowns when the NVM is accessed across UPI.
 #include <cstdio>
+#include <vector>
 
 #include "harness/registry.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 #include "simcore/units.hpp"
 
 using namespace nvms;
@@ -46,13 +48,22 @@ int main() {
     SystemConfig no_conflicts = base;  // conflict model disabled via knee=1
     no_conflicts.cache_max_sets = base.cache_max_sets;
 
+    init_registry();
+    const std::vector<std::string> apps = {"hypre", "boxlib", "xsbench"};
+    const SystemConfig variants[] = {base, line_256, line_64k, no_derate};
+    constexpr std::size_t kVariants = 4;
+    std::vector<double> rel(apps.size() * kVariants);
+    parallel_for_index(rel.size(), [&](std::size_t i) {
+      rel[i] = cached_relative(apps[i / kVariants], variants[i % kVariants]);
+    });
+
     TextTable t({"Application", "4KiB line", "256B line", "64KiB line",
                  "no derate"});
-    for (const std::string app : {"hypre", "boxlib", "xsbench"}) {
-      t.add_row({app, TextTable::num(cached_relative(app, base), 2),
-                 TextTable::num(cached_relative(app, line_256), 2),
-                 TextTable::num(cached_relative(app, line_64k), 2),
-                 TextTable::num(cached_relative(app, no_derate), 2)});
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      t.add_row({apps[a], TextTable::num(rel[a * kVariants + 0], 2),
+                 TextTable::num(rel[a * kVariants + 1], 2),
+                 TextTable::num(rel[a * kVariants + 2], 2),
+                 TextTable::num(rel[a * kVariants + 3], 2)});
     }
     std::printf("%s\n", t.render().c_str());
   }
@@ -60,21 +71,33 @@ int main() {
   std::printf("Ablation B: NUMA placement policies on the two-socket "
               "topology\n(uncached-NVM slowdown vs local-socket DRAM)\n\n");
   {
-    TextTable t({"Application", "local", "interleave", "remote"});
-    for (const std::string app : {"xsbench", "hypre", "ft"}) {
+    const std::vector<std::string> apps = {"xsbench", "hypre", "ft"};
+    const NumaPolicy policies[] = {NumaPolicy::kLocalSocket,
+                                   NumaPolicy::kInterleave,
+                                   NumaPolicy::kRemoteSocket};
+    // Cell 0 per app is the DRAM baseline; cells 1..3 the NUMA policies.
+    constexpr std::size_t kCells = 4;
+    std::vector<double> runtime(apps.size() * kCells);
+    parallel_for_index(runtime.size(), [&](std::size_t i) {
       AppConfig cfg;
       cfg.threads = 36;
-      SystemConfig dram_cfg = SystemConfig::testbed(Mode::kDramOnly);
-      const auto dram = run_app_on(app, dram_cfg, cfg);
-      std::vector<std::string> row = {app};
-      for (const NumaPolicy policy :
-           {NumaPolicy::kLocalSocket, NumaPolicy::kInterleave,
-            NumaPolicy::kRemoteSocket}) {
-        SystemConfig cfg2 = SystemConfig::testbed(Mode::kUncachedNvm);
-        cfg2.sockets = 2;
-        cfg2.numa_policy = policy;
-        const auto r = run_app_on(app, cfg2, cfg);
-        row.push_back(TextTable::num(r.runtime / dram.runtime, 2));
+      const std::string& app = apps[i / kCells];
+      const std::size_t cell = i % kCells;
+      SystemConfig sys_cfg = SystemConfig::testbed(
+          cell == 0 ? Mode::kDramOnly : Mode::kUncachedNvm);
+      if (cell != 0) {
+        sys_cfg.sockets = 2;
+        sys_cfg.numa_policy = policies[cell - 1];
+      }
+      runtime[i] = run_app_on(app, sys_cfg, cfg).runtime;
+    });
+
+    TextTable t({"Application", "local", "interleave", "remote"});
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const double dram = runtime[a * kCells];
+      std::vector<std::string> row = {apps[a]};
+      for (std::size_t c = 1; c < kCells; ++c) {
+        row.push_back(TextTable::num(runtime[a * kCells + c] / dram, 2));
       }
       t.add_row(row);
     }

@@ -16,6 +16,7 @@
 #include "pmem/log.hpp"
 #include "pmem/region.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 #include "simcore/units.hpp"
 
 using namespace nvms;
@@ -85,14 +86,29 @@ int main() {
       {"256 x 4 KiB (pages)", 256, 4 * KiB},
       {"4096 x 64 B (records)", 4096, 64},
   };
+  // Every (shape, protocol) pair simulates on its own MemorySystem —
+  // flatten them into one parallel grid.
+  constexpr std::size_t kShapes = std::size(shapes);
+  constexpr std::size_t kProtocols = 4;
+  std::vector<Outcome> cells(kShapes * kProtocols);
+  parallel_for_index(cells.size(), [&](std::size_t i) {
+    const Shape& s = shapes[i / kProtocols];
+    switch (i % kProtocols) {
+      case 0: cells[i] = run_no_log(s); break;
+      case 1: cells[i] = run_nt(s); break;
+      case 2: cells[i] = run_tx<UndoLogTx>(s); break;
+      default: cells[i] = run_tx<RedoLogTx>(s); break;
+    }
+  });
+
   TextTable t({"tx shape", "no-log", "nt-store", "undo log", "redo log",
                "undo ampl", "redo ampl"});
-  for (const auto& s : shapes) {
-    const auto none = run_no_log(s);
-    const auto nt = run_nt(s);
-    const auto undo = run_tx<UndoLogTx>(s);
-    const auto redo = run_tx<RedoLogTx>(s);
-    t.add_row({s.name, format_time(none.time), format_time(nt.time),
+  for (std::size_t si = 0; si < kShapes; ++si) {
+    const Outcome& none = cells[si * kProtocols + 0];
+    const Outcome& nt = cells[si * kProtocols + 1];
+    const Outcome& undo = cells[si * kProtocols + 2];
+    const Outcome& redo = cells[si * kProtocols + 3];
+    t.add_row({shapes[si].name, format_time(none.time), format_time(nt.time),
                format_time(undo.time), format_time(redo.time),
                TextTable::num(undo.amplification, 2) + "x",
                TextTable::num(redo.amplification, 2) + "x"});

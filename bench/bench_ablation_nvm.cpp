@@ -11,9 +11,11 @@
 //   * symmetric bandwidth  (write peak = read peak): removes the 3x
 //     asymmetry entirely; the "bottlenecked" tier should disappear.
 #include <cstdio>
+#include <vector>
 
 #include "harness/registry.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 
 using namespace nvms;
 
@@ -48,14 +50,23 @@ int main() {
   symmetric.nvm.write_bw_peak = symmetric.nvm.read_bw_peak;
   symmetric.nvm.write_scaling = symmetric.nvm.read_scaling;
 
+  init_registry();
+  const std::vector<std::string> apps = {"laghos", "scalapack", "superlu",
+                                         "boxlib", "ft"};
+  const SystemConfig variants[] = {base, no_throttle, flat_write, symmetric};
+  constexpr std::size_t kVariants = 4;
+  std::vector<double> cells(apps.size() * kVariants);
+  parallel_for_index(cells.size(), [&](std::size_t i) {
+    cells[i] = slowdown(apps[i / kVariants], variants[i % kVariants]);
+  });
+
   TextTable t({"Application", "full model", "no throttling",
                "flat write scaling", "symmetric BW"});
-  for (const std::string app : {"laghos", "scalapack", "superlu", "boxlib",
-                                "ft"}) {
-    t.add_row({app, TextTable::num(slowdown(app, base), 2),
-               TextTable::num(slowdown(app, no_throttle), 2),
-               TextTable::num(slowdown(app, flat_write), 2),
-               TextTable::num(slowdown(app, symmetric), 2)});
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    t.add_row({apps[a], TextTable::num(cells[a * kVariants + 0], 2),
+               TextTable::num(cells[a * kVariants + 1], 2),
+               TextTable::num(cells[a * kVariants + 2], 2),
+               TextTable::num(cells[a * kVariants + 3], 2)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

@@ -15,6 +15,7 @@
 #include "harness/registry.hpp"
 #include "model/predictor.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 
 using namespace nvms;
 
@@ -29,18 +30,37 @@ struct AppData {
   std::map<int, double> run_ipc;
 };
 
-AppData collect(const std::string& name) {
-  AppData d;
+/// Run every (app, concurrency level) cell of the corpus concurrently and
+/// assemble the per-app maps afterwards (map insertion is serial; only
+/// the independent simulator runs fan out).
+std::map<std::string, AppData> collect_all(const std::vector<std::string>& names) {
   std::vector<int> levels = kLevels;
   levels.push_back(kSampleHt);
-  for (int ht : levels) {
+
+  struct Cell {
+    std::vector<PhaseFeature> features;
+    double ipc = 0.0;
+  };
+  std::vector<Cell> cells(names.size() * levels.size());
+  parallel_for_index(cells.size(), [&](std::size_t i) {
     AppConfig cfg;
-    cfg.threads = ht;
-    const auto r = run_app(name, Mode::kCachedNvm, cfg);
-    d.by_level[ht] = aggregate_by_phase(r.samples);
-    d.run_ipc[ht] = r.counters.ipc();
+    cfg.threads = levels[i % levels.size()];
+    const auto r =
+        run_app(names[i / levels.size()], Mode::kCachedNvm, cfg);
+    cells[i].features = aggregate_by_phase(r.samples);
+    cells[i].ipc = r.counters.ipc();
+  });
+
+  std::map<std::string, AppData> data;
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    AppData& d = data[names[a]];
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      Cell& c = cells[a * levels.size() + l];
+      d.by_level[levels[l]] = std::move(c.features);
+      d.run_ipc[levels[l]] = c.ipc;
+    }
   }
-  return d;
+  return data;
 }
 
 }  // namespace
@@ -51,8 +71,8 @@ int main() {
       "corpus-wide fit over all eight applications per level)\n\n",
       kSampleHt);
 
-  std::map<std::string, AppData> data;
-  for (const auto& name : app_names()) data[name] = collect(name);
+  init_registry();
+  const std::map<std::string, AppData> data = collect_all(app_names());
 
   TextTable t({"ht", "xsbench acc", "ft acc"});
   std::map<std::string, double> err_sum;

@@ -7,10 +7,12 @@
 // t_dram / t_mode, for FoM apps fom_mode / fom_dram — higher is better in
 // both conventions, matching the paper's reading.
 #include <cstdio>
+#include <vector>
 
 #include "harness/registry.hpp"
 #include "mem/space.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 
 int main() {
   using namespace nvms;
@@ -18,20 +20,30 @@ int main() {
       "Figure 2: performance relative to DRAM (1.00 = DRAM baseline;\n"
       "higher is better).  Input problems sized 50-85%% of DRAM capacity.\n\n");
 
+  init_registry();
+  const auto& names = app_names();
+
+  // One task per (app, mode) cell; results land in fixed slots, so the
+  // rendered table is identical for any worker count.
+  constexpr std::size_t kModes = 3;
+  std::vector<AppResult> results(names.size() * kModes);
+  parallel_for_index(results.size(), [&](std::size_t i) {
+    AppConfig cfg;
+    cfg.threads = 36;
+    results[i] =
+        run_app(names[i / kModes], kAllModes[i % kModes], cfg);
+  });
+
   TextTable t({"Application", "FoM", "dram-only", "cached-nvm",
                "uncached-nvm"});
-  AppConfig cfg;
-  cfg.threads = 36;
-
-  for (const auto& name : app_names()) {
-    const auto dram = run_app(name, Mode::kDramOnly, cfg);
-    const auto cached = run_app(name, Mode::kCachedNvm, cfg);
-    const auto uncached = run_app(name, Mode::kUncachedNvm, cfg);
-
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const AppResult& dram = results[a * kModes + 0];
+    const AppResult& cached = results[a * kModes + 1];
+    const AppResult& uncached = results[a * kModes + 2];
     auto rel = [&](const AppResult& r) {
       return r.higher_is_better ? r.fom / dram.fom : dram.runtime / r.runtime;
     };
-    t.add_row({name, dram.fom_unit, TextTable::num(rel(dram), 2),
+    t.add_row({names[a], dram.fom_unit, TextTable::num(rel(dram), 2),
                TextTable::num(rel(cached), 2),
                TextTable::num(rel(uncached), 2)});
   }

@@ -7,10 +7,12 @@
 //      cached-NVM over uncached-NVM; the paper reports ~2x even at 4.4x
 //      (BoxLib) and 2.9x (Hypre) the DRAM capacity.
 #include <cstdio>
+#include <vector>
 
 #include "dwarfs/sparse/superlu.hpp"
 #include "harness/registry.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 #include "simcore/units.hpp"
 
 using namespace nvms;
@@ -18,19 +20,26 @@ using namespace nvms;
 int main() {
   const auto dram_cap =
       static_cast<double>(SystemConfig::testbed(Mode::kDramOnly).dram.capacity);
+  init_registry();
 
   std::printf("Figure 3a: SuperLU factor Mflop/s across datasets "
               "(cached-NVM)\n\n");
   {
-    TextTable t({"dataset", "footprint", "x DRAM", "factor Mflop/s"});
-    const double base_fp = static_cast<double>(superlu_datasets()[2].footprint);
-    for (const auto& ds : superlu_datasets()) {
+    const auto& datasets = superlu_datasets();
+    const double base_fp = static_cast<double>(datasets[2].footprint);
+    std::vector<AppResult> results(datasets.size());
+    parallel_for_index(results.size(), [&](std::size_t i) {
       AppConfig cfg;
       cfg.threads = 36;
       // size_scale maps the default dataset (Ge87H76) onto this one.
-      cfg.size_scale = static_cast<double>(ds.footprint) / base_fp;
-      const auto r = run_app("superlu", Mode::kCachedNvm, cfg);
-      t.add_row({ds.name, format_bytes(r.footprint),
+      cfg.size_scale = static_cast<double>(datasets[i].footprint) / base_fp;
+      results[i] = run_app("superlu", Mode::kCachedNvm, cfg);
+    });
+
+    TextTable t({"dataset", "footprint", "x DRAM", "factor Mflop/s"});
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      const auto& r = results[i];
+      t.add_row({datasets[i].name, format_bytes(r.footprint),
                  TextTable::num(static_cast<double>(r.footprint) / dram_cap,
                                 2),
                  TextTable::num(r.fom, 0)});
@@ -42,29 +51,31 @@ int main() {
 
   std::printf("Figure 3b: cached-NVM speedup over uncached-NVM at growing "
               "footprints\n\n");
-  TextTable t({"app", "x DRAM", "uncached (s)", "cached (s)", "speedup"});
-  struct Sweep {
-    const char* app;
-    std::vector<double> scales;
-  };
   // Scales chosen to reach the paper's 4.4x (BoxLib) and 2.9x (Hypre).
-  const Sweep sweeps[] = {
-      {"boxlib", {1.0, 2.0, 4.0, 6.2}},
-      {"hypre", {0.8, 1.4, 2.2, 3.2}},
+  struct Point {
+    const char* app;
+    double scale;
+    AppResult uncached, cached;
   };
-  for (const auto& sweep : sweeps) {
-    for (double scale : sweep.scales) {
-      AppConfig cfg;
-      cfg.threads = 36;
-      cfg.size_scale = scale;
-      const auto un = run_app(sweep.app, Mode::kUncachedNvm, cfg);
-      const auto ca = run_app(sweep.app, Mode::kCachedNvm, cfg);
-      t.add_row({sweep.app,
-                 TextTable::num(static_cast<double>(ca.footprint) / dram_cap,
-                                2),
-                 TextTable::num(un.runtime, 3), TextTable::num(ca.runtime, 3),
-                 TextTable::num(un.runtime / ca.runtime, 2)});
-    }
+  std::vector<Point> points;
+  for (double scale : {1.0, 2.0, 4.0, 6.2}) points.push_back({"boxlib", scale, {}, {}});
+  for (double scale : {0.8, 1.4, 2.2, 3.2}) points.push_back({"hypre", scale, {}, {}});
+  parallel_for_each(points, [](Point& p) {
+    AppConfig cfg;
+    cfg.threads = 36;
+    cfg.size_scale = p.scale;
+    p.uncached = run_app(p.app, Mode::kUncachedNvm, cfg);
+    p.cached = run_app(p.app, Mode::kCachedNvm, cfg);
+  });
+
+  TextTable t({"app", "x DRAM", "uncached (s)", "cached (s)", "speedup"});
+  for (const auto& p : points) {
+    t.add_row({p.app,
+               TextTable::num(
+                   static_cast<double>(p.cached.footprint) / dram_cap, 2),
+               TextTable::num(p.uncached.runtime, 3),
+               TextTable::num(p.cached.runtime, 3),
+               TextTable::num(p.uncached.runtime / p.cached.runtime, 2)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

@@ -9,10 +9,12 @@
 //   * FT drops to ~0.61 on DRAM but ~0.37 on uncached NVM (NVM contention);
 //   * BoxLib shows a notable DRAM-vs-NVM gap.
 #include <cstdio>
+#include <vector>
 
 #include "harness/registry.hpp"
 #include "mem/space.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 
 using namespace nvms;
 
@@ -32,22 +34,30 @@ int main() {
       "(ratio > 1: concurrency helps; DRAM-vs-NVM gap = NVM contention)\n\n",
       kHigh, kLow);
 
+  init_registry();
+  const auto& names = app_names();
+
+  // Flatten app x mode x {low, high} into one task grid.
+  constexpr std::size_t kModes = 3;
+  std::vector<double> perf(names.size() * kModes * 2);
+  parallel_for_index(perf.size(), [&](std::size_t i) {
+    AppConfig cfg;
+    cfg.threads = (i % 2 == 0) ? kLow : kHigh;
+    const std::size_t cell = i / 2;
+    perf[i] = performance(
+        run_app(names[cell / kModes], kAllModes[cell % kModes], cfg));
+  });
+
   TextTable t({"Application", "dram-only", "cached-nvm", "uncached-nvm",
                "NVM/DRAM gap"});
-  for (const auto& name : app_names()) {
-    double ratio[3];
-    int i = 0;
-    for (Mode mode : kAllModes) {
-      AppConfig lo;
-      lo.threads = kLow;
-      AppConfig hi;
-      hi.threads = kHigh;
-      const auto r_lo = run_app(name, mode, lo);
-      const auto r_hi = run_app(name, mode, hi);
-      ratio[i++] = performance(r_hi) / performance(r_lo);
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    double ratio[kModes];
+    for (std::size_t m = 0; m < kModes; ++m) {
+      const std::size_t base = (a * kModes + m) * 2;
+      ratio[m] = perf[base + 1] / perf[base];
     }
-    t.add_row({name, TextTable::num(ratio[0], 2), TextTable::num(ratio[1], 2),
-               TextTable::num(ratio[2], 2),
+    t.add_row({names[a], TextTable::num(ratio[0], 2),
+               TextTable::num(ratio[1], 2), TextTable::num(ratio[2], 2),
                TextTable::num(ratio[0] - ratio[2], 2)});
   }
   std::printf("%s\n", t.render().c_str());

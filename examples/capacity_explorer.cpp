@@ -23,32 +23,43 @@ int main(int argc, char** argv) {
       SystemConfig::testbed(Mode::kDramOnly).dram.capacity);
 
   std::printf("Capacity exploration for '%s'\n\n", app.c_str());
-  TextTable t({"scale", "footprint", "x DRAM", "uncached", "cached",
-               "cached speedup", "fits DRAM?"});
 
   std::vector<double> scales = {0.5, 1.0};
   for (double s = 2.0; s <= max_scale; s *= 1.75) scales.push_back(s);
   scales.push_back(max_scale);
 
-  for (double scale : scales) {
+  // All scale points are independent; each task runs its three
+  // configurations (uncached, cached, DRAM fit-check) on private
+  // MemorySystems, so the whole exploration fans out.
+  struct Point {
+    AppResult uncached, cached;
+    bool fits = true;
+  };
+  init_registry();
+  std::vector<Point> points(scales.size());
+  parallel_for_index(points.size(), [&](std::size_t i) {
     AppConfig cfg;
     cfg.threads = 36;
-    cfg.size_scale = scale;
-    const auto un = run_app(app, Mode::kUncachedNvm, cfg);
-    const auto ca = run_app(app, Mode::kCachedNvm, cfg);
-    const double ratio = static_cast<double>(ca.footprint) / dram_cap;
-
-    bool fits = true;
+    cfg.size_scale = scales[i];
+    points[i].uncached = run_app(app, Mode::kUncachedNvm, cfg);
+    points[i].cached = run_app(app, Mode::kCachedNvm, cfg);
     try {
       (void)run_app(app, Mode::kDramOnly, cfg);
     } catch (const CapacityError&) {
-      fits = false;
+      points[i].fits = false;
     }
-    t.add_row({TextTable::num(scale, 2) + "x", format_bytes(ca.footprint),
-               TextTable::num(ratio, 2), format_time(un.runtime),
-               format_time(ca.runtime),
-               TextTable::num(un.runtime / ca.runtime, 2) + "x",
-               fits ? "yes" : "no"});
+  });
+
+  TextTable t({"scale", "footprint", "x DRAM", "uncached", "cached",
+               "cached speedup", "fits DRAM?"});
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const Point& p = points[i];
+    const double ratio = static_cast<double>(p.cached.footprint) / dram_cap;
+    t.add_row({TextTable::num(scales[i], 2) + "x",
+               format_bytes(p.cached.footprint), TextTable::num(ratio, 2),
+               format_time(p.uncached.runtime), format_time(p.cached.runtime),
+               TextTable::num(p.uncached.runtime / p.cached.runtime, 2) + "x",
+               p.fits ? "yes" : "no"});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

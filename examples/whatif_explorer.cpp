@@ -6,7 +6,9 @@
 //
 //   ./whatif_explorer [app]        (default: ft)
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "nvms/nvms.hpp"
 
@@ -47,8 +49,12 @@ int main(int argc, char** argv) {
       {"DRAM-class NVM (4x/3x, flat)", 3.0, 4.0, true},
   };
 
-  TextTable t({"device", "runtime", "slowdown vs DRAM"});
-  for (const auto& gen : generations) {
+  // Each hypothetical device replays the same (const) recording on its
+  // own MemorySystem — evaluate all generations concurrently.
+  constexpr std::size_t kGenerations = std::size(generations);
+  std::vector<double> times(kGenerations);
+  parallel_for_index(kGenerations, [&](std::size_t i) {
+    const Device& gen = generations[i];
     SystemConfig sys_cfg = SystemConfig::testbed(Mode::kUncachedNvm);
     sys_cfg.nvm.write_bw_peak *= gen.write_mult;
     sys_cfg.nvm.read_bw_peak *= gen.read_mult;
@@ -58,9 +64,13 @@ int main(int argc, char** argv) {
       sys_cfg.nvm.write_scaling = ScalingCurve{{{1, 1.0}}};
     }
     MemorySystem sys(sys_cfg);
-    const double time = rec.replay(sys);
-    t.add_row({gen.name, format_time(time),
-               TextTable::num(time / dram_baseline, 2) + "x"});
+    times[i] = rec.replay(sys);
+  });
+
+  TextTable t({"device", "runtime", "slowdown vs DRAM"});
+  for (std::size_t i = 0; i < kGenerations; ++i) {
+    t.add_row({generations[i].name, format_time(times[i]),
+               TextTable::num(times[i] / dram_baseline, 2) + "x"});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

@@ -41,7 +41,11 @@ commands:
       --modes a,b,c         (default: all three)
       --threads a,b,c       (default: 12,24,36,48)
       --scale S
+      --jobs N              parallel experiment workers
+                            (default: hardware concurrency; results are
+                            byte-identical for any N)
       --csv                 emit CSV instead of a table
+      --stats FILE          write per-task executor timings as CSV
   profile <app>             data-centric profile + write-aware plan
       --threads N --scale S
       --budget PCT          DRAM budget percent        (default 35)
@@ -228,20 +232,44 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
     spec.threads.push_back(std::stoi(t));
   }
   spec.scales = {opt.get_double("scale", 1.0)};
-  const auto rows = run_sweep(spec);
+  spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
+  const auto result = run_sweep(spec);
+
+  // Capacity-skipped configurations are reported, never silently dropped.
+  if (!result.skipped.empty()) {
+    err << "sweep: skipped " << result.skipped.size()
+        << " configuration(s) exceeding device capacity:\n";
+    for (const auto& s : result.skipped) {
+      err << "  " << to_string(s.mode) << " threads=" << s.threads
+          << " scale=" << s.scale << "\n";
+    }
+  }
+
+  const std::string stats_file = opt.get("stats", "");
+  if (!stats_file.empty()) {
+    std::ofstream f(stats_file);
+    if (!f) {
+      err << "sweep: cannot write " << stats_file << "\n";
+      return 1;
+    }
+    f << sweep_stats_csv(result);
+  }
 
   if (opt.has("csv")) {
     (void)opt.get("csv", "");
-    out << sweep_csv(rows);
+    out << sweep_csv(result);
+    // Keep stdout pure CSV; the execution summary goes to stderr.
+    err << result.stats.summary() << "\n";
     return 0;
   }
   TextTable t({"mode", "threads", "runtime", "FoM"});
-  for (const auto& r : rows) {
+  for (const auto& r : result.rows) {
     t.add_row({to_string(r.mode), std::to_string(r.threads),
                format_time(r.result.runtime),
                TextTable::num(r.result.fom, 2) + " " + r.result.fom_unit});
   }
   out << t.render();
+  out << "\n" << result.stats.summary() << "\n";
   return 0;
 }
 

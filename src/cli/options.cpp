@@ -44,6 +44,14 @@ long Options::get_int(const std::string& key, long fallback) const {
   return v;
 }
 
+long Options::get_int_at_least(const std::string& key, long fallback,
+                               long min) const {
+  const long v = get_int(key, fallback);
+  require(v >= min, "option --" + key + " must be >= " + std::to_string(min) +
+                        ", got " + std::to_string(v));
+  return v;
+}
+
 double Options::get_double(const std::string& key, double fallback) const {
   touched_[key] = true;
   const auto it = kv_.find(key);

@@ -21,6 +21,9 @@ class Options {
 
   std::string get(const std::string& key, const std::string& fallback) const;
   long get_int(const std::string& key, long fallback) const;
+  /// As get_int, but rejects values below `min` (range validation for
+  /// count-like options such as --jobs / --threads).
+  long get_int_at_least(const std::string& key, long fallback, long min) const;
   double get_double(const std::string& key, double fallback) const;
 
   /// Keys the program never asked about (typo detection).

@@ -1,0 +1,89 @@
+// Parallel experiment executor: run a batch of independent (app, system,
+// config) experiments across a worker pool with deterministic results.
+//
+// Contract:
+//   * every task constructs its own MemorySystem, so nothing is shared
+//     between concurrent experiments (MemorySystem itself is
+//     single-threaded; see memsim/memory_system.hpp);
+//   * outcomes are returned in task order — outcome[i] always belongs to
+//     tasks[i] no matter which worker ran it or when it finished;
+//   * task seeds come from the configs verbatim.  Grid builders that
+//     want per-task isolation derive them with derive_task_seed(base, i),
+//     which is a pure function of (base seed, task index) — never of
+//     shared RNG state — so jobs=1 and jobs=N produce identical bytes;
+//   * a task that throws CapacityError is recorded as skipped (the
+//     oversized-configuration semantics of run_sweep); any other
+//     exception aborts the batch after all tasks finished, rethrowing
+//     the lowest-index failure.
+//
+// The executor also records lightweight observability per task — queue
+// wait, wall time, the worker that ran it — plus batch wall time and
+// worker utilization, exposed as a human summary and a CSV export.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "appfw/app.hpp"
+#include "memsim/memory_system.hpp"
+
+namespace nvms {
+
+/// One experiment of a batch, executed on a private MemorySystem.
+struct ExperimentConfig {
+  std::string app;
+  SystemConfig sys;
+  AppConfig cfg;
+  /// Free-form tag carried into the per-task stats ("uncached-nvm/36/1").
+  std::string label;
+};
+
+/// Per-task observability record.
+struct TaskStats {
+  std::size_t index = 0;
+  std::string label;
+  int worker = -1;           ///< pool worker that ran the task (0 if serial)
+  double queue_wait_s = 0.0; ///< submission -> execution start
+  double wall_s = 0.0;       ///< execution start -> finish
+  bool skipped = false;      ///< CapacityError: configuration did not fit
+};
+
+/// Batch-level observability: per-task records plus derived aggregates.
+struct ExecutorStats {
+  int jobs = 1;              ///< workers actually used
+  double batch_wall_s = 0.0; ///< submission of the first task -> last finish
+  std::vector<TaskStats> tasks;
+
+  std::size_t skipped() const;
+  double total_task_s() const;
+  double avg_queue_wait_s() const;
+  /// Busy worker-seconds over available worker-seconds, in [0, 1].
+  double worker_utilization() const;
+  /// Human-readable one-block summary for CLI/bench output.
+  std::string summary() const;
+  /// Per-task CSV: index,label,worker,queue_wait_s,wall_s,skipped.
+  std::string csv() const;
+};
+
+/// Result slot for one experiment; `result` is default-initialized when
+/// `skipped` is set.
+struct ExperimentOutcome {
+  AppResult result;
+  bool skipped = false;
+  std::string skip_reason;
+};
+
+/// Mix a base seed with a task index (splitmix64) — the seed-isolation
+/// scheme used by run_sweep: stable across worker counts and platforms.
+std::uint64_t derive_task_seed(std::uint64_t base, std::size_t index);
+
+/// Execute every task, `jobs` wide (jobs <= 0: hardware concurrency;
+/// clamped to the batch size).  Outcomes are in task order; `stats`, when
+/// non-null, receives the observability records.
+std::vector<ExperimentOutcome> run_experiments(
+    const std::vector<ExperimentConfig>& tasks, int jobs = 0,
+    ExecutorStats* stats = nullptr);
+
+}  // namespace nvms

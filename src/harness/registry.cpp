@@ -17,6 +17,8 @@
 namespace nvms {
 namespace {
 
+// Const-after-init: built once under the C++11 static-initialization
+// guarantee and never mutated, so lock-free concurrent lookups are safe.
 const std::vector<std::unique_ptr<App>>& all_apps() {
   static const auto apps = [] {
     std::vector<std::unique_ptr<App>> v;
@@ -60,6 +62,12 @@ const std::vector<std::string>& extra_app_names() {
     return v;
   }();
   return names;
+}
+
+void init_registry() {
+  (void)all_apps();
+  (void)app_names();
+  (void)extra_app_names();
 }
 
 const App& lookup_app(const std::string& name) {

@@ -4,6 +4,13 @@
 // presentation order of Table III.  run_app() builds a fresh scaled
 // testbed MemorySystem for the requested mode and executes the app —
 // the core primitive every bench binary is built on.
+//
+// Thread safety: the registry is const-after-init.  The app and name
+// tables are function-local statics (thread-safe initialization) and are
+// never mutated afterwards; App instances are stateless (run() is const
+// and touches only its AppContext), so concurrent run_app()/run_app_on()
+// calls from executor workers are safe.  Call init_registry() (or any
+// lookup) before fanning out to keep initialization off the hot path.
 #pragma once
 
 #include <functional>
@@ -23,6 +30,11 @@ const std::vector<std::string>& app_names();
 /// Extra applications shipped beyond the paper's eight (synthetic
 /// probes); runnable via lookup_app()/run_app() and the CLI.
 const std::vector<std::string>& extra_app_names();
+
+/// Force construction of the registry tables (idempotent).  Concurrent
+/// first-use is already safe; this just front-loads the work before a
+/// parallel section.
+void init_registry();
 
 /// Look up an app by name; throws ConfigError for unknown names.
 const App& lookup_app(const std::string& name);

@@ -52,6 +52,7 @@ std::string render_trace_table(const RunTraces& traces, std::size_t points) {
 std::string render_trace_csv(const RunTraces& traces, std::size_t points) {
   const Resampled r = resample_all(traces, points);
   std::string out = "t_s,dram_read_gbs,dram_write_gbs,nvm_read_gbs,nvm_write_gbs\n";
+  out.reserve(out.size() + points * 48);
   char row[160];
   for (std::size_t i = 0; i < points; ++i) {
     std::snprintf(row, sizeof row, "%.6f,%.3f,%.3f,%.3f,%.3f\n",

@@ -15,39 +15,64 @@ void SweepSpec::validate() const {
   for (const int t : threads) require(t >= 1, "sweep: threads must be >= 1");
   for (const double s : scales)
     require(s > 0.0, "sweep: scales must be positive");
+  require(jobs >= 0, "sweep: jobs must be >= 0 (0 = hardware)");
 }
 
-std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
+SweepResult run_sweep(const SweepSpec& spec) {
   spec.validate();
   (void)lookup_app(spec.app);  // fail fast on unknown apps
-  std::vector<SweepRow> rows;
+
+  // Build the grid in mode-major order; the executor returns outcomes in
+  // this same order regardless of worker interleaving.
+  std::vector<ExperimentConfig> grid;
+  grid.reserve(spec.modes.size() * spec.threads.size() * spec.scales.size());
   for (const Mode mode : spec.modes) {
     for (const int threads : spec.threads) {
       for (const double scale : spec.scales) {
-        AppConfig cfg;
-        cfg.threads = threads;
-        cfg.size_scale = scale;
-        cfg.seed = spec.seed;
+        ExperimentConfig task;
+        task.app = spec.app;
+        task.sys = SystemConfig::testbed(mode);
+        task.cfg.threads = threads;
+        task.cfg.size_scale = scale;
+        task.cfg.seed = derive_task_seed(spec.seed, grid.size());
+        char label[96];
+        std::snprintf(label, sizeof label, "%s/%d/%.4g", to_string(mode),
+                      threads, scale);
+        task.label = label;
+        grid.push_back(std::move(task));
+      }
+    }
+  }
+
+  SweepResult result;
+  const auto outcomes = run_experiments(grid, spec.jobs, &result.stats);
+
+  std::size_t i = 0;
+  for (const Mode mode : spec.modes) {
+    for (const int threads : spec.threads) {
+      for (const double scale : spec.scales) {
+        const ExperimentOutcome& o = outcomes[i++];
+        if (o.skipped) {
+          result.skipped.push_back({mode, threads, scale, o.skip_reason});
+          continue;
+        }
         SweepRow row;
         row.mode = mode;
         row.threads = threads;
         row.scale = scale;
-        try {
-          row.result = run_app(spec.app, mode, cfg);
-        } catch (const CapacityError&) {
-          continue;  // oversized for this mode: skip the row
-        }
-        rows.push_back(std::move(row));
+        row.result = o.result;
+        result.rows.push_back(std::move(row));
       }
     }
   }
-  return rows;
+  return result;
 }
 
 std::string sweep_csv(const std::vector<SweepRow>& rows) {
   std::string out =
       "mode,threads,scale,runtime_s,fom,fom_unit,higher_is_better,"
       "read_bw_gbs,write_bw_gbs,ipc,footprint_bytes\n";
+  out.reserve(out.size() + rows.size() * 128);
   char line[320];
   for (const auto& r : rows) {
     std::snprintf(line, sizeof line,
@@ -61,6 +86,10 @@ std::string sweep_csv(const std::vector<SweepRow>& rows) {
     out += line;
   }
   return out;
+}
+
+std::string sweep_stats_csv(const SweepResult& result) {
+  return result.stats.csv();
 }
 
 }  // namespace nvms

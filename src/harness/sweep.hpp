@@ -1,12 +1,18 @@
 // Structured experiment sweeps: the cartesian product of modes x threads
 // x problem scales for one application, with CSV export — the building
 // block behind the CLI `sweep` command and custom studies.
+//
+// Sweeps run on the parallel executor (harness/executor.hpp).  Results
+// are deterministic in the worker count: rows keep the mode-major grid
+// order and every configuration's seed is derived from (spec.seed, grid
+// index), so `jobs=1` and `jobs=N` emit byte-identical CSVs.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "appfw/app.hpp"
+#include "harness/executor.hpp"
 #include "memsim/memory_system.hpp"
 
 namespace nvms {
@@ -18,6 +24,9 @@ struct SweepSpec {
   std::vector<int> threads = {12, 24, 36, 48};
   std::vector<double> scales = {1.0};
   std::uint64_t seed = 7;
+  /// Worker count for the grid; 0 = hardware concurrency.  Any value
+  /// yields the same rows and CSV bytes.
+  int jobs = 0;
 
   void validate() const;
 };
@@ -29,13 +38,40 @@ struct SweepRow {
   AppResult result;
 };
 
-/// Run the full cartesian product; rows are ordered mode-major, then
-/// threads, then scale.  Configurations that exceed a device capacity are
-/// skipped (the row is omitted) rather than aborting the sweep.
-std::vector<SweepRow> run_sweep(const SweepSpec& spec);
+/// A configuration dropped because it exceeded a device capacity.
+struct SweepSkip {
+  Mode mode = Mode::kDramOnly;
+  int threads = 0;
+  double scale = 1.0;
+  std::string reason;
+};
+
+struct SweepResult {
+  /// Completed configurations, ordered mode-major, then threads, then
+  /// scale (grid order, independent of execution interleaving).
+  std::vector<SweepRow> rows;
+  /// Capacity-skipped configurations in grid order — formerly dropped
+  /// silently; callers decide whether to warn.
+  std::vector<SweepSkip> skipped;
+  /// Executor observability for the grid (wall time, queue waits,
+  /// utilization).
+  ExecutorStats stats;
+};
+
+/// Run the full cartesian product, `spec.jobs` wide.  Configurations that
+/// exceed a device capacity are recorded in `skipped` rather than
+/// aborting the sweep.
+SweepResult run_sweep(const SweepSpec& spec);
 
 /// CSV with one row per configuration: mode, threads, scale, runtime,
 /// FoM, bandwidths, IPC.
 std::string sweep_csv(const std::vector<SweepRow>& rows);
+inline std::string sweep_csv(const SweepResult& result) {
+  return sweep_csv(result.rows);
+}
+
+/// Per-task executor timing CSV for the sweep grid (observability; the
+/// values are wall-clock measurements and thus not deterministic).
+std::string sweep_stats_csv(const SweepResult& result);
 
 }  // namespace nvms

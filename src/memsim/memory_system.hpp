@@ -13,6 +13,13 @@
 // Apps register buffers, then submit phases; the system advances a virtual
 // clock, accumulates PCM-like counters, per-buffer traffic profiles, and
 // reconstructed bandwidth traces.
+//
+// Thread safety: a MemorySystem instance is SINGLE-THREADED.  It mutates
+// its clock, cache, counters and traces on every submit() with no
+// internal locking, so it must be driven by one thread at a time.  The
+// parallel experiment engine (harness/executor.hpp) relies on this being
+// cheap to construct: every concurrent experiment builds its own private
+// instance instead of sharing one.
 #pragma once
 
 #include <cstdint>

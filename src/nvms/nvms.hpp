@@ -23,6 +23,7 @@
 #include "dwarfs/synth/stream.hpp"
 #include "dwarfs/spectral/ft.hpp"
 #include "dwarfs/ugrid/boxlib.hpp"
+#include "harness/executor.hpp"
 #include "harness/registry.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
@@ -41,5 +42,6 @@
 #include "prof/run_recorder.hpp"
 #include "simcore/stats.hpp"
 #include "simcore/table.hpp"
+#include "simcore/thread_pool.hpp"
 #include "simcore/units.hpp"
 #include "storage/tiers.hpp"

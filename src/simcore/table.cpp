@@ -41,11 +41,12 @@ std::string TextTable::render() const {
     out += '\n';
   };
 
-  std::string out;
-  emit_row(headers_, out);
   std::size_t total = 0;
   for (std::size_t c = 0; c < width.size(); ++c)
     total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  std::string out;
+  out.reserve((rows_.size() + 2) * (total + 1));
+  emit_row(headers_, out);
   out += std::string(total, '-');
   out += '\n';
   for (const auto& row : rows_) emit_row(row, out);

@@ -1,0 +1,108 @@
+// Fixed-size worker thread pool with a task queue, futures and exception
+// propagation — the engine behind every parallel experiment grid (sweeps,
+// bench drivers, explorer examples).
+//
+// Design notes:
+//   * Tasks are arbitrary callables; submit() returns a std::future that
+//     carries the return value or the thrown exception.
+//   * parallel_for_index()/parallel_for_each() create a private pool per
+//     call, so nesting them (a task that itself fans out) can never
+//     deadlock: the inner call either runs inline or spins up fresh
+//     workers.
+//   * Determinism is the caller's contract: tasks must be independent
+//     (own RNG, own MemorySystem) and write only to their own output
+//     slot; then results are identical for any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nvms {
+
+class ThreadPool {
+ public:
+  /// Spawn `jobs` workers (jobs >= 1; use default_jobs() for the
+  /// hardware concurrency).
+  explicit ThreadPool(int jobs);
+  /// Drains the queue: already-submitted tasks finish before join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, clamped to >= 1.
+  static int default_jobs();
+
+  /// Index of the pool worker running the calling thread, or -1 when
+  /// called from a thread that is not a pool worker (e.g. main).
+  static int current_worker();
+
+  /// Enqueue a callable; the future resolves to its return value, or
+  /// rethrows whatever it threw.  Safe to call from worker threads
+  /// (tasks may submit follow-up tasks), but a worker must not block on
+  /// a future whose task could be starved by the caller itself — prefer
+  /// the nested-pool helpers below for fan-out inside a task.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(int index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Shared implementation: run fn(0..n-1), each index exactly once, over
+/// `jobs` workers; rethrows the lowest-index exception after all tasks
+/// finished.  jobs <= 0 selects the hardware concurrency.
+void parallel_for_impl(std::size_t n,
+                       const std::function<void(std::size_t)>& fn, int jobs);
+
+}  // namespace detail
+
+/// Run fn(i) for every i in [0, n).  With jobs == 1 (or n <= 1) the
+/// calls happen inline on the calling thread in index order — the exact
+/// serial semantics; otherwise a private pool executes them
+/// concurrently.  All indices complete before the first exception (by
+/// index) is rethrown.
+template <typename Fn>
+void parallel_for_index(std::size_t n, Fn&& fn, int jobs = 0) {
+  const std::function<void(std::size_t)> body = std::forward<Fn>(fn);
+  detail::parallel_for_impl(n, body, jobs);
+}
+
+/// Run fn(item) over every element of `items` (by reference).  Each task
+/// must touch only its own element for jobs-independent results.
+template <typename Item, typename Fn>
+void parallel_for_each(std::vector<Item>& items, Fn&& fn, int jobs = 0) {
+  detail::parallel_for_impl(
+      items.size(),
+      [&items, &fn](std::size_t i) { fn(items[i]); }, jobs);
+}
+
+}  // namespace nvms

@@ -118,8 +118,59 @@ TEST(Cli, SweepRunsMatrix) {
                      "dram-only,uncached-nvm"},
                     &out),
             0);
-  // header + separator + 4 rows
-  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+  // header + separator + 4 rows + blank + executor summary
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 8);
+  EXPECT_NE(out.find("executor: 4 task(s)"), std::string::npos);
+}
+
+TEST(Cli, SweepJobsKeepsCsvByteIdentical) {
+  std::string serial, parallel, err;
+  EXPECT_EQ(run_cli({"sweep", "xsbench", "--threads", "12,36", "--modes",
+                     "dram-only,uncached-nvm", "--jobs", "1", "--csv"},
+                    &serial, &err),
+            0);
+  // in CSV mode the executor summary goes to stderr, stdout stays pure
+  EXPECT_EQ(serial.find("executor:"), std::string::npos);
+  EXPECT_NE(err.find("executor:"), std::string::npos);
+  EXPECT_EQ(run_cli({"sweep", "xsbench", "--threads", "12,36", "--modes",
+                     "dram-only,uncached-nvm", "--jobs", "3", "--csv"},
+                    &parallel),
+            0);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Cli, SweepReportsSkippedConfigurations) {
+  std::string out, err;
+  EXPECT_EQ(run_cli({"sweep", "hypre", "--threads", "36", "--modes",
+                     "dram-only,cached-nvm", "--scale", "3.0"},
+                    &out, &err),
+            0);
+  EXPECT_NE(err.find("skipped 1 configuration"), std::string::npos);
+  EXPECT_NE(err.find("dram-only threads=36"), std::string::npos);
+}
+
+TEST(Cli, SweepWritesStatsCsv) {
+  const std::string path = "/tmp/nvms_cli_test_stats.csv";
+  std::remove(path.c_str());
+  std::string out;
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--threads", "12", "--modes",
+                     "dram-only", "--jobs", "2", "--stats", path},
+                    &out),
+            0);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[80] = {};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  EXPECT_NE(std::string(header).find("task,label,worker,queue_wait_s"),
+            std::string::npos);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepRejectsNegativeJobs) {
+  std::string err;
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--jobs", "-2"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--jobs"), std::string::npos);
 }
 
 TEST(Cli, ProfileEmitsPlan) {

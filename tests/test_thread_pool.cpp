@@ -1,0 +1,145 @@
+// Tests for the worker thread pool and the parallel-for helpers: task
+// completion, future values, exception propagation, nested submission
+// safety and the serial fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simcore/error.hpp"
+#include "simcore/thread_pool.hpp"
+
+namespace nvms {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, FuturesCarryReturnValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, FuturesPropagateExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw ConfigError("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), ConfigError);
+}
+
+TEST(ThreadPool, WorkersKnowTheirIndex) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // not a pool thread
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(pool.submit([] { return ThreadPool::current_worker(); }));
+  }
+  for (auto& f : futures) {
+    const int w = f.get();
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 3);
+  }
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // unchanged on main
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), ConfigError);
+  EXPECT_THROW(ThreadPool(-3), ConfigError);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  parallel_for_index(visits.size(),
+                     [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ForEachMutatesItemsInPlace) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  parallel_for_each(items, [](int& x) { x *= 2; }, 8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(items[i], 2 * i);
+}
+
+TEST(ParallelFor, SerialFallbackPreservesIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(10, [&](std::size_t i) { order.push_back(i); },
+                     /*jobs=*/1);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexExceptionAfterCompletion) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_index(
+        16,
+        [&](std::size_t i) {
+          if (i == 3) throw ConfigError("task 3");
+          if (i == 11) throw Error("task 11");
+          completed.fetch_add(1);
+        },
+        4);
+    FAIL() << "expected a rethrow";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("task 3"), std::string::npos);
+  }
+  // every non-throwing task still ran to completion
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(ParallelFor, NestedFanOutDoesNotDeadlock) {
+  // Each outer task fans out again; the inner call uses its own private
+  // pool, so this completes for any worker count.
+  std::atomic<int> count{0};
+  parallel_for_index(
+      4,
+      [&](std::size_t) {
+        parallel_for_index(4, [&](std::size_t) { count.fetch_add(1); }, 2);
+      },
+      2);
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelFor, TasksMaySubmitFollowUpWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<std::future<void>>> seconds;
+    for (int i = 0; i < 8; ++i) {
+      seconds.push_back(pool.submit([&pool, &count] {
+        count.fetch_add(1);
+        return pool.submit([&count] { count.fetch_add(1); });
+      }));
+    }
+    for (auto& s : seconds) s.get().get();
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoOp) {
+  parallel_for_index(0, [](std::size_t) { FAIL(); }, 4);
+  std::vector<int> empty;
+  parallel_for_each(empty, [](int&) { FAIL(); }, 4);
+}
+
+}  // namespace
+}  // namespace nvms
