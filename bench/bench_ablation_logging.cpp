@@ -1,122 +1,118 @@
-// Ablation (extension beyond the paper): crash-consistency cost on the
-// simulated Optane.
+// Ablation: cost of the telemetry layer (obs/) on simulator throughput.
 //
-// The paper's related work (NVStream [8], Mnemosyne [29], NV-Tree [33])
-// is about reducing exactly this overhead.  We compare, on the AppDirect
-// persistence path:
-//   * no-log      — cached stores + one persist (no atomicity guarantee)
-//   * nt-store    — non-temporal stores (durable immediately, no recovery)
-//   * undo log    — write-ahead old-value logging (fence per write)
-//   * redo log    — new-value buffering (persistence batched at commit)
-// across transaction shapes (few large writes vs many small writes).
+// The tracing spans and epoch metric streams hook the simulator's hottest
+// path — every MemorySystem::submit resolves a phase and, when telemetry
+// is attached, opens three span levels and emits per-lane epoch samples.
+// This bench quantifies that cost in three configurations:
+//   * off        — no Telemetry attached; every hook is one null check
+//   * null-sink  — Telemetry(Capture::kNull): hooks run, sinks drop
+//                  everything (branch-and-return, nothing allocated)
+//   * full       — full capture: spans + metric series retained in memory
+//
+// Contract guarded here: the null sink must stay within 2% of off, so a
+// telemetry-instrumented build costs nothing unless capture is requested.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <string>
 #include <vector>
 
-#include "pmem/log.hpp"
-#include "pmem/region.hpp"
+#include "harness/registry.hpp"
+#include "obs/telemetry.hpp"
 #include "simcore/table.hpp"
-#include "simcore/thread_pool.hpp"
-#include "simcore/units.hpp"
 
 using namespace nvms;
 
 namespace {
 
-struct Shape {
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kApp = "hypre";  // deep phase stream: many submits
+constexpr int kReps = 9;
+
+AppConfig bench_config() {
+  AppConfig cfg;
+  cfg.threads = 36;
+  cfg.size_scale = 0.25;
+  return cfg;
+}
+
+/// One timed run; `telemetry` may be null (the "off" configuration).
+double run_once(Telemetry* telemetry) {
+  const AppConfig cfg = bench_config();
+  const auto start = Clock::now();
+  (void)run_app_on(kApp, SystemConfig::testbed(Mode::kCachedNvm), cfg,
+                   telemetry);
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Ablation {
   const char* name;
-  int writes;
-  std::size_t bytes;  ///< per write
+  Telemetry::Capture capture;
+  bool attach;  ///< false: run without any Telemetry (baseline)
 };
 
-struct Outcome {
-  double time;
-  double amplification;
+struct Cell {
+  double best_s = 0.0;
+  std::size_t spans = 0;
+  std::size_t points = 0;
 };
 
-std::vector<std::byte> payload(std::size_t n) {
-  return std::vector<std::byte>(n, std::byte{0x5A});
-}
-
-Outcome run_no_log(const Shape& s) {
-  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
-  PmemRegion data(sys, "data", 16 * MiB);
-  const auto v = payload(s.bytes);
-  for (int i = 0; i < s.writes; ++i) {
-    data.store((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v);
+Cell measure(const Ablation& a) {
+  Cell cell;
+  std::vector<double> times;
+  times.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep) {
+    Telemetry telemetry(a.capture);
+    times.push_back(run_once(a.attach ? &telemetry : nullptr));
+    if (rep + 1 == kReps && a.attach) {
+      cell.spans = telemetry.tracer().spans().size();
+      for (const auto& m : telemetry.metrics().metrics())
+        cell.points += m.series.size();
+    }
   }
-  data.persist(8);
-  return {sys.now(), 1.0};
-}
-
-Outcome run_nt(const Shape& s) {
-  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
-  PmemRegion data(sys, "data", 16 * MiB);
-  const auto v = payload(s.bytes);
-  for (int i = 0; i < s.writes; ++i) {
-    data.store_nt((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v,
-                  8);
-  }
-  return {sys.now(), 1.0};
-}
-
-template <typename Tx>
-Outcome run_tx(const Shape& s) {
-  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
-  PmemRegion data(sys, "data", 16 * MiB);
-  PmemRegion log(sys, "log", 16 * MiB);
-  Tx tx(data, log);
-  const auto v = payload(s.bytes);
-  tx.begin();
-  for (int i = 0; i < s.writes; ++i) {
-    tx.write((static_cast<std::size_t>(i) * 7919 * 64) % (15 * MiB), v);
-  }
-  tx.commit(8);
-  return {sys.now(), tx.stats().write_amplification()};
+  // Best-of-N: overhead is a lower-bound property, and min is the
+  // standard noise-robust estimator for short serial reruns.
+  cell.best_s = *std::min_element(times.begin(), times.end());
+  return cell;
 }
 
 }  // namespace
 
 int main() {
   std::printf(
-      "Ablation: crash-consistency protocols on simulated Optane "
-      "(one transaction per row)\n\n");
-  const Shape shapes[] = {
-      {"4 x 256 KiB (bulk)", 4, 256 * KiB},
-      {"256 x 4 KiB (pages)", 256, 4 * KiB},
-      {"4096 x 64 B (records)", 4096, 64},
-  };
-  // Every (shape, protocol) pair simulates on its own MemorySystem —
-  // flatten them into one parallel grid.
-  constexpr std::size_t kShapes = std::size(shapes);
-  constexpr std::size_t kProtocols = 4;
-  std::vector<Outcome> cells(kShapes * kProtocols);
-  parallel_for_index(cells.size(), [&](std::size_t i) {
-    const Shape& s = shapes[i / kProtocols];
-    switch (i % kProtocols) {
-      case 0: cells[i] = run_no_log(s); break;
-      case 1: cells[i] = run_nt(s); break;
-      case 2: cells[i] = run_tx<UndoLogTx>(s); break;
-      default: cells[i] = run_tx<RedoLogTx>(s); break;
-    }
-  });
+      "Ablation: telemetry layer overhead on %s (cached-nvm, best of %d)\n\n",
+      kApp, kReps);
 
-  TextTable t({"tx shape", "no-log", "nt-store", "undo log", "redo log",
-               "undo ampl", "redo ampl"});
-  for (std::size_t si = 0; si < kShapes; ++si) {
-    const Outcome& none = cells[si * kProtocols + 0];
-    const Outcome& nt = cells[si * kProtocols + 1];
-    const Outcome& undo = cells[si * kProtocols + 2];
-    const Outcome& redo = cells[si * kProtocols + 3];
-    t.add_row({shapes[si].name, format_time(none.time), format_time(nt.time),
-               format_time(undo.time), format_time(redo.time),
-               TextTable::num(undo.amplification, 2) + "x",
-               TextTable::num(redo.amplification, 2) + "x"});
+  const Ablation ablations[] = {
+      {"off", Telemetry::Capture::kNull, false},
+      {"null-sink", Telemetry::Capture::kNull, true},
+      {"full", Telemetry::Capture::kFull, true},
+  };
+
+  (void)run_once(nullptr);  // warm the registry + allocator before timing
+
+  Cell cells[3];
+  for (int i = 0; i < 3; ++i) cells[i] = measure(ablations[i]);
+  const double base = cells[0].best_s;
+
+  TextTable t({"telemetry", "host time", "overhead", "spans", "points"});
+  for (int i = 0; i < 3; ++i) {
+    const double ovh = base > 0.0 ? 100.0 * (cells[i].best_s / base - 1.0)
+                                  : 0.0;
+    t.add_row({ablations[i].name, format_time(cells[i].best_s),
+               i == 0 ? "-" : TextTable::num(ovh, 2) + "%",
+               std::to_string(cells[i].spans),
+               std::to_string(cells[i].points)});
   }
   std::printf("%s\n", t.render().c_str());
+
+  const double null_ovh =
+      base > 0.0 ? 100.0 * (cells[1].best_s / base - 1.0) : 0.0;
+  std::printf("check: null-sink overhead %.2f%% (target < 2%%) -> %s\n",
+              null_ovh, null_ovh < 2.0 ? "PASS" : "WARN (noisy host?)");
   std::printf(
-      "Expected: logging costs grow as writes shrink (fence-per-write in\n"
-      "undo); redo amortizes persistence into commit and wins for small\n"
-      "records — the effect NVStream-style designs exploit.\n");
+      "Expected: the null sink is indistinguishable from off (every hook\n"
+      "is a capture-flag branch), while full capture pays for span and\n"
+      "metric-point storage only when someone asked for a trace.\n");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "mem/buffer.hpp"
 #include "memsim/dram_cache.hpp"
 #include "memsim/memory_system.hpp"
+#include "obs/telemetry.hpp"
 #include "simcore/units.hpp"
 
 using namespace nvms;
@@ -74,6 +75,28 @@ void BM_SubmitPhase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubmitPhase);
+
+// Same phase stream with the telemetry layer attached: arg 0 = null sink
+// (hooks run, sinks drop), arg 1 = full capture (spans + metric series
+// retained).  Compare against BM_SubmitPhase for the per-phase cost.
+void BM_SubmitPhaseTelemetry(benchmark::State& state) {
+  MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));
+  Telemetry telemetry(state.range(0) != 0 ? Telemetry::Capture::kFull
+                                          : Telemetry::Capture::kNull);
+  sys.set_telemetry(&telemetry);
+  const auto id = sys.register_buffer("bm", 32 * MiB);
+  Phase p = PhaseBuilder("bm")
+                .threads(36)
+                .flops(1e8)
+                .stream(seq_read(id, 16 * MiB))
+                .stream(seq_write(id, 4 * MiB))
+                .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.submit(p));
+  }
+  state.SetLabel(state.range(0) != 0 ? "full" : "null-sink");
+}
+BENCHMARK(BM_SubmitPhaseTelemetry)->Arg(0)->Arg(1);
 
 void BM_WholeApp(benchmark::State& state) {
   AppConfig cfg;

@@ -1,9 +1,11 @@
 #include "cli/driver.hpp"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/options.hpp"
@@ -11,6 +13,7 @@
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
 #include "mem/space.hpp"
+#include "obs/export.hpp"
 #include "placement/write_aware.hpp"
 #include "prof/data_profile.hpp"
 #include "replay/recording.hpp"
@@ -37,6 +40,8 @@ commands:
       --remote-nvm          access NVM on the remote socket over UPI
       --numa local|interleave|remote   two-socket placement policy
       --json                emit the result as JSON
+      --trace-out FILE      write a Chrome trace (chrome://tracing, Perfetto)
+      --metrics-out FILE    write per-epoch metric streams as CSV
   sweep <app>               run across modes x concurrency
       --modes a,b,c         (default: all three)
       --threads a,b,c       (default: 12,24,36,48)
@@ -46,6 +51,11 @@ commands:
                             byte-identical for any N)
       --csv                 emit CSV instead of a table
       --stats FILE          write per-task executor timings as CSV
+      --trace-out FILE      merged Chrome trace over the whole grid
+      --metrics-out FILE    merged per-epoch metrics CSV over the grid
+  inspect <app>             run once with telemetry and summarize it
+      --mode M --threads N --scale S --iters K
+      --trace-out FILE --metrics-out FILE --jsonl FILE
   profile <app>             data-centric profile + write-aware plan
       --threads N --scale S
       --budget PCT          DRAM budget percent        (default 35)
@@ -65,6 +75,19 @@ std::vector<std::string> split_csv(const std::string& s) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// Write `content` to `path`; on failure reports "<cmd>: cannot write ..."
+// and returns false.
+bool write_file(const std::string& path, const std::string& content,
+                std::ostream& err, const char* cmd) {
+  std::ofstream f(path);
+  if (!f) {
+    err << cmd << ": cannot write " << path << "\n";
+    return false;
+  }
+  f << content;
+  return true;
 }
 
 AppConfig config_from(const Options& opt) {
@@ -149,7 +172,21 @@ int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
     }
   }
   const AppConfig cfg = config_from(opt);
-  const AppResult r = run_app_on(app, sys_cfg, cfg);
+  const std::string trace_out = opt.get("trace-out", "");
+  const std::string metrics_out = opt.get("metrics-out", "");
+  Telemetry telemetry;
+  const bool want_telemetry = !trace_out.empty() || !metrics_out.empty();
+  const AppResult r =
+      run_app_on(app, sys_cfg, cfg, want_telemetry ? &telemetry : nullptr);
+
+  if (!trace_out.empty() &&
+      !write_file(trace_out, chrome_trace_json(telemetry, app), err, "run")) {
+    return 1;
+  }
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, metrics_csv(telemetry, app), err, "run")) {
+    return 1;
+  }
 
   if (opt.has("json")) {
     (void)opt.get("json", "");
@@ -233,7 +270,19 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   }
   spec.scales = {opt.get_double("scale", 1.0)};
   spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
+  const std::string trace_out = opt.get("trace-out", "");
+  const std::string metrics_out = opt.get("metrics-out", "");
+  spec.telemetry = !trace_out.empty() || !metrics_out.empty();
   const auto result = run_sweep(spec);
+
+  if (!trace_out.empty() &&
+      !write_file(trace_out, sweep_chrome_trace(result), err, "sweep")) {
+    return 1;
+  }
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, sweep_metrics_csv(result), err, "sweep")) {
+    return 1;
+  }
 
   // Capacity-skipped configurations are reported, never silently dropped.
   if (!result.skipped.empty()) {
@@ -270,6 +319,98 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   }
   out << t.render();
   out << "\n" << result.stats.summary() << "\n";
+  return 0;
+}
+
+int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "inspect: missing application name\n";
+    return 2;
+  }
+  const std::string app = opt.positional()[0];
+  const auto mode = parse_mode(opt.get("mode", "uncached-nvm"));
+  if (!mode) {
+    err << "inspect: unknown mode\n";
+    return 2;
+  }
+  const AppConfig cfg = config_from(opt);
+  Telemetry telemetry;
+  const AppResult r =
+      run_app_on(app, SystemConfig::testbed(*mode), cfg, &telemetry);
+
+  const auto& spans = telemetry.tracer().spans();
+  const auto& metrics = telemetry.metrics().metrics();
+  out << app << " (" << r.mode << "): " << format_time(r.runtime) << ", "
+      << spans.size() << " span(s), " << metrics.size()
+      << " metric stream(s)\n\n";
+
+  // Span taxonomy, aggregated by (category, name) in first-seen order.
+  struct SpanAgg {
+    std::string name, category;
+    std::size_t depth = 0;
+    std::size_t count = 0;
+    double total_s = 0.0;
+  };
+  std::vector<SpanAgg> agg;
+  std::map<std::pair<std::string, std::string>, std::size_t> index;
+  for (const auto& s : spans) {
+    if (!s.closed) continue;
+    const auto key = std::make_pair(s.category, s.name);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, agg.size()).first;
+      agg.push_back({s.name, s.category, s.depth, 0, 0.0});
+    }
+    SpanAgg& a = agg[it->second];
+    a.count += 1;
+    a.total_s += s.t1 - s.t0;
+  }
+  TextTable ts({"span", "category", "depth", "count", "sim time"});
+  for (const auto& a : agg) {
+    ts.add_row({a.name, a.category, std::to_string(a.depth),
+                std::to_string(a.count), format_time(a.total_s)});
+  }
+  out << ts.render();
+
+  TextTable tm({"metric", "labels", "kind", "points", "value", "min", "max"});
+  for (const auto& m : metrics) {
+    std::string points = std::to_string(
+        m.kind == MetricKind::kHistogram ? m.count : m.series.size());
+    // Counters/gauges show their final value; histograms their mean.
+    const double value =
+        m.kind == MetricKind::kHistogram ? m.mean() : m.value;
+    const bool stats = m.count > 0;
+    tm.add_row({m.name, m.labels, to_string(m.kind), points,
+                TextTable::num(value, 4),
+                stats ? TextTable::num(m.min, 4) : "-",
+                stats ? TextTable::num(m.max, 4) : "-"});
+  }
+  out << "\n" << tm.render();
+
+  const std::string trace_out = opt.get("trace-out", "");
+  if (!trace_out.empty()) {
+    if (!write_file(trace_out, chrome_trace_json(telemetry, app), err,
+                    "inspect")) {
+      return 1;
+    }
+    out << "\ntrace written to " << trace_out << "\n";
+  }
+  const std::string metrics_out = opt.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    if (!write_file(metrics_out, metrics_csv(telemetry, app), err,
+                    "inspect")) {
+      return 1;
+    }
+    out << "metrics written to " << metrics_out << "\n";
+  }
+  const std::string jsonl_out = opt.get("jsonl", "");
+  if (!jsonl_out.empty()) {
+    if (!write_file(jsonl_out, telemetry_jsonl(telemetry, app), err,
+                    "inspect")) {
+      return 1;
+    }
+    out << "jsonl written to " << jsonl_out << "\n";
+  }
   return 0;
 }
 
@@ -400,6 +541,8 @@ int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
       rc = cmd_run(opt, out, err);
     } else if (cmd == "sweep") {
       rc = cmd_sweep(opt, out, err);
+    } else if (cmd == "inspect") {
+      rc = cmd_inspect(opt, out, err);
     } else if (cmd == "profile") {
       rc = cmd_profile(opt, out, err);
     } else if (cmd == "record") {

@@ -104,8 +104,12 @@ std::vector<ExperimentOutcome> run_experiments(
     ts.worker = std::max(ThreadPool::current_worker(), 0);
     ts.queue_wait_s = seconds_between(submitted[i], start);
     try {
+      if (tasks[i].telemetry) {
+        outcomes[i].telemetry = std::make_shared<Telemetry>();
+      }
       outcomes[i].result = run_app_on(tasks[i].app, tasks[i].sys,
-                                      tasks[i].cfg);
+                                      tasks[i].cfg,
+                                      outcomes[i].telemetry.get());
     } catch (const CapacityError& e) {
       outcomes[i].skipped = true;
       outcomes[i].skip_reason = e.what();
@@ -140,6 +144,19 @@ std::vector<ExperimentOutcome> run_experiments(
   }
   if (stats != nullptr) *stats = std::move(local);
   return outcomes;
+}
+
+std::vector<TelemetryPart> telemetry_parts(
+    const std::vector<ExperimentConfig>& tasks,
+    const std::vector<ExperimentOutcome>& outcomes) {
+  std::vector<TelemetryPart> parts;
+  const std::size_t n = std::min(tasks.size(), outcomes.size());
+  parts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes[i].telemetry == nullptr) continue;
+    parts.push_back({tasks[i].label, outcomes[i].telemetry.get()});
+  }
+  return parts;
 }
 
 }  // namespace nvms

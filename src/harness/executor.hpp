@@ -23,11 +23,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "appfw/app.hpp"
 #include "memsim/memory_system.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 
 namespace nvms {
 
@@ -38,6 +41,11 @@ struct ExperimentConfig {
   AppConfig cfg;
   /// Free-form tag carried into the per-task stats ("uncached-nvm/36/1").
   std::string label;
+  /// Collect spans + metric streams for this task.  Each task gets its own
+  /// Telemetry (returned in the outcome), so worker interleaving never
+  /// mixes streams; merged exports follow task order and stay
+  /// byte-identical for any jobs count.
+  bool telemetry = false;
 };
 
 /// Per-task observability record.
@@ -73,7 +81,16 @@ struct ExperimentOutcome {
   AppResult result;
   bool skipped = false;
   std::string skip_reason;
+  /// Per-task telemetry when the config asked for it (null otherwise; a
+  /// skipped task keeps whatever was collected before the CapacityError).
+  std::shared_ptr<Telemetry> telemetry;
 };
+
+/// Grid-order telemetry parts of a batch (tasks that collected telemetry,
+/// labeled with their config labels) — ready for the obs exporters.
+std::vector<TelemetryPart> telemetry_parts(
+    const std::vector<ExperimentConfig>& tasks,
+    const std::vector<ExperimentOutcome>& outcomes);
 
 /// Mix a base seed with a task index (splitmix64) — the seed-isolation
 /// scheme used by run_sweep: stable across worker counts and platforms.

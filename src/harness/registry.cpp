@@ -82,8 +82,9 @@ AppResult run_app(const std::string& name, Mode mode, const AppConfig& cfg) {
 }
 
 AppResult run_app_on(const std::string& name, SystemConfig sys_cfg,
-                     const AppConfig& cfg) {
+                     const AppConfig& cfg, Telemetry* telemetry) {
   MemorySystem sys(std::move(sys_cfg));
+  if (telemetry != nullptr) sys.set_telemetry(telemetry);
   AppContext ctx(sys, cfg);
   return lookup_app(name).run(ctx);
 }

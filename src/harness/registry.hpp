@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "appfw/app.hpp"
+#include "obs/telemetry.hpp"
 
 namespace nvms {
 
@@ -43,8 +44,10 @@ const App& lookup_app(const std::string& name);
 AppResult run_app(const std::string& name, Mode mode, const AppConfig& cfg);
 
 /// As run_app, but with a caller-customized system configuration (the
-/// mode field of `sys_cfg` is used as-is).
+/// mode field of `sys_cfg` is used as-is).  When `telemetry` is non-null
+/// it is attached to the run's MemorySystem, collecting spans and epoch
+/// metric streams for the whole execution.
 AppResult run_app_on(const std::string& name, SystemConfig sys_cfg,
-                     const AppConfig& cfg);
+                     const AppConfig& cfg, Telemetry* telemetry = nullptr);
 
 }  // namespace nvms

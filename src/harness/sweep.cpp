@@ -35,6 +35,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
         task.cfg.threads = threads;
         task.cfg.size_scale = scale;
         task.cfg.seed = derive_task_seed(spec.seed, grid.size());
+        task.telemetry = spec.telemetry;
         char label[96];
         std::snprintf(label, sizeof label, "%s/%d/%.4g", to_string(mode),
                       threads, scale);
@@ -46,6 +47,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   SweepResult result;
   const auto outcomes = run_experiments(grid, spec.jobs, &result.stats);
+
+  if (spec.telemetry) {
+    // Keep grid order (including skipped cells that collected anything
+    // before their CapacityError) so merged exports are deterministic.
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+      if (outcomes[k].telemetry == nullptr) continue;
+      result.telemetry.push_back(outcomes[k].telemetry);
+      result.telemetry_labels.push_back(grid[k].label);
+    }
+  }
 
   std::size_t i = 0;
   for (const Mode mode : spec.modes) {
@@ -90,6 +101,24 @@ std::string sweep_csv(const std::vector<SweepRow>& rows) {
 
 std::string sweep_stats_csv(const SweepResult& result) {
   return result.stats.csv();
+}
+
+std::vector<TelemetryPart> SweepResult::parts() const {
+  std::vector<TelemetryPart> out;
+  const std::size_t n = std::min(telemetry.size(), telemetry_labels.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({telemetry_labels[i], telemetry[i].get()});
+  }
+  return out;
+}
+
+std::string sweep_chrome_trace(const SweepResult& result) {
+  return chrome_trace_json(result.parts());
+}
+
+std::string sweep_metrics_csv(const SweepResult& result) {
+  return metrics_csv(result.parts());
 }
 
 }  // namespace nvms

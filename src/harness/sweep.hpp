@@ -27,6 +27,10 @@ struct SweepSpec {
   /// Worker count for the grid; 0 = hardware concurrency.  Any value
   /// yields the same rows and CSV bytes.
   int jobs = 0;
+  /// Collect per-task telemetry (spans + epoch metric streams).  Each
+  /// grid cell records into its own Telemetry; the merged exports follow
+  /// grid order, so they too are byte-identical for any jobs count.
+  bool telemetry = false;
 
   void validate() const;
 };
@@ -56,6 +60,14 @@ struct SweepResult {
   /// Executor observability for the grid (wall time, queue waits,
   /// utilization).
   ExecutorStats stats;
+  /// Grid-order telemetry (one part per cell, labeled "mode/threads/scale")
+  /// when the spec asked for it; empty otherwise.  The shared_ptrs in
+  /// `telemetry` keep the parts' pointees alive.
+  std::vector<std::shared_ptr<Telemetry>> telemetry;
+  std::vector<std::string> telemetry_labels;
+
+  /// Labeled views over `telemetry` for the obs exporters.
+  std::vector<TelemetryPart> parts() const;
 };
 
 /// Run the full cartesian product, `spec.jobs` wide.  Configurations that
@@ -73,5 +85,12 @@ inline std::string sweep_csv(const SweepResult& result) {
 /// Per-task executor timing CSV for the sweep grid (observability; the
 /// values are wall-clock measurements and thus not deterministic).
 std::string sweep_stats_csv(const SweepResult& result);
+
+/// Merged Chrome trace_event JSON over every telemetry-collecting cell of
+/// the sweep, in grid order (byte-identical for any jobs count).
+std::string sweep_chrome_trace(const SweepResult& result);
+
+/// Merged per-epoch metrics CSV over the sweep's telemetry parts.
+std::string sweep_metrics_csv(const SweepResult& result);
 
 }  // namespace nvms

@@ -42,10 +42,42 @@ struct HwCounters {
     imc_writes += o.imc_writes;
     return *this;
   }
+
+  /// Delta snapshots: after -= before (RunRecorder, window re-binning).
+  HwCounters& operator-=(const HwCounters& o) {
+    instructions -= o.instructions;
+    cycles_active -= o.cycles_active;
+    stall_cycles -= o.stall_cycles;
+    offcore_wait -= o.offcore_wait;
+    imc_reads -= o.imc_reads;
+    imc_writes -= o.imc_writes;
+    return *this;
+  }
+
+  /// Proportional split of a delta across windows (rebin_windows).
+  HwCounters& operator*=(double f) {
+    instructions *= f;
+    cycles_active *= f;
+    stall_cycles *= f;
+    offcore_wait *= f;
+    imc_reads *= f;
+    imc_writes *= f;
+    return *this;
+  }
 };
 
 inline HwCounters operator+(HwCounters a, const HwCounters& b) {
   a += b;
+  return a;
+}
+
+inline HwCounters operator-(HwCounters a, const HwCounters& b) {
+  a -= b;
+  return a;
+}
+
+inline HwCounters operator*(HwCounters a, double f) {
+  a *= f;
   return a;
 }
 

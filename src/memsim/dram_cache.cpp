@@ -193,6 +193,22 @@ CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
   total.nvm_write = sc(sampled.nvm_write);
   total.hits = sc(sampled.hits);
   total.misses = sc(sampled.misses);
+
+  // Epoch telemetry: the internal cache signals (occupancy, achieved hit
+  // rate, conflict-miss fraction) behind the paper's Memory-mode traces
+  // (Fig. 4) — one sample per stream access.
+  if (probe_ != nullptr) {
+    const double touched =
+        static_cast<double>(total.hits + total.misses);
+    probe_->epoch_sample("cache.occupancy", "dram-cache", epoch_t_,
+                         occupancy());
+    if (touched > 0.0) {
+      probe_->epoch_sample("cache.hit_rate", "dram-cache", epoch_t_,
+                           static_cast<double>(total.hits) / touched);
+    }
+    probe_->epoch_sample("cache.conflict_rate", "dram-cache", epoch_t_,
+                         conflict);
+  }
   return total;
 }
 

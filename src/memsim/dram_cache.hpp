@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/epoch_probe.hpp"
 #include "simcore/rng.hpp"
 #include "trace/pattern.hpp"
 
@@ -78,9 +79,17 @@ class DramCache {
   /// Fraction of (sampled) sets holding a valid line.
   double occupancy() const;
 
+  /// Telemetry: when attached, every access() emits epoch samples of the
+  /// cache occupancy, hit rate and conflict-miss rate (device
+  /// "dram-cache") stamped at the epoch time the owner set last.
+  void set_probe(EpochProbe* probe) { probe_ = probe; }
+  void set_epoch_time(double t) { epoch_t_ = t; }
+
  private:
   CacheOutcome touch(std::uint64_t line_addr, bool is_write);
 
+  EpochProbe* probe_ = nullptr;
+  double epoch_t_ = 0.0;
   CacheParams params_;
   std::uint64_t sets_ = 0;        ///< total sets in the modelled cache
   std::uint64_t sample_mod_ = 1;  ///< simulate sets where set % mod == 0

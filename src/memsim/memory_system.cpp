@@ -283,19 +283,48 @@ void MemorySystem::route_stream(const StreamDesc& s,
   }
 }
 
+namespace {
+/// Telemetry channel labels, lane-indexed (socket*2 + device).
+constexpr const char* kLaneLabels[4] = {"dram0", "nvm0", "dram1", "nvm1"};
+}  // namespace
+
+void MemorySystem::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  last_phase_span_ = Tracer::kNone;
+  cache_.set_probe(telemetry != nullptr ? &telemetry->metrics() : nullptr);
+  if (telemetry != nullptr) {
+    MetricsRegistry& m = telemetry->metrics();
+    phase_hist_ = m.histogram("phase.duration_s");
+    read_bytes_ctr_ = m.counter("app.read_bytes");
+    write_bytes_ctr_ = m.counter("app.write_bytes");
+  } else {
+    phase_hist_ = read_bytes_ctr_ = write_bytes_ctr_ = MetricId{};
+  }
+}
+
 PhaseResolution MemorySystem::submit(const Phase& phase) {
   if (observer_) observer_(phase);
+  const double t0v = clock_;
+  std::size_t sp_phase = Tracer::kNone;
+  std::size_t sp_resolve = Tracer::kNone;
+  EpochProbe* probe = nullptr;
+  if (telemetry_ != nullptr) {
+    sp_phase = telemetry_->tracer().begin(phase.name, "phase", t0v);
+    sp_resolve = telemetry_->tracer().begin("resolve", "resolve", t0v);
+    cache_.set_epoch_time(t0v);
+    probe = &telemetry_->metrics();
+  }
   // Lanes: [dram0, nvm0] plus [dram1, nvm1] on two-socket systems.
   std::vector<DeviceDemand> lane_dem(4);
   double upi_bytes = 0.0;
   for (const auto& s : phase.streams) route_stream(s, lane_dem, upi_bytes);
 
   std::vector<LaneDemand> lanes(config_.sockets * 2);
-  lanes[0] = {lane_dem[0], &dram_effective_};
-  lanes[1] = {lane_dem[1], &nvm_effective_};
+  lanes[0] = {lane_dem[0], &dram_effective_, kLaneLabels[0]};
+  lanes[1] = {lane_dem[1], &nvm_effective_, kLaneLabels[1]};
   if (config_.sockets == 2) {
-    lanes[2] = {lane_dem[2], &dram_remote_};
-    lanes[3] = {lane_dem[3], &nvm_remote_};
+    lanes[2] = {lane_dem[2], &dram_remote_, kLaneLabels[2]};
+    lanes[3] = {lane_dem[3], &nvm_remote_, kLaneLabels[3]};
   } else {
     NVMS_ASSERT(lane_dem[2].read_total() + lane_dem[2].write_total() +
                         lane_dem[3].read_total() +
@@ -303,8 +332,8 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
                     0,
                 "remote traffic on a single-socket system");
   }
-  const MultiResolution multi =
-      resolve_lanes(phase, lanes, config_.cpu, upi_bytes, config_.upi_bw);
+  const MultiResolution multi = resolve_lanes(
+      phase, lanes, config_.cpu, upi_bytes, config_.upi_bw, probe, t0v);
 
   PhaseResolution res;
   res.time = multi.time;
@@ -330,6 +359,38 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
   traces_.phases.push_back({phase.name, t0, t1});
   account_counters(phase, res.time, res.compute_time, lane_dem);
   clock_ = t1;
+
+  if (telemetry_ != nullptr) {
+    Tracer& tr = telemetry_->tracer();
+    MetricsRegistry& mr = telemetry_->metrics();
+    // Device spans: each active lane busy for the time it actually moved
+    // bytes (<= the phase duration), nested under the resolve span.
+    for (std::size_t i = 0; i < multi.lanes.size(); ++i) {
+      const std::uint64_t bytes =
+          lane_dem[i].read_total() + lane_dem[i].write_total();
+      if (bytes == 0) continue;
+      const DeviceTiming& lt = multi.lanes[i];
+      const double busy = std::min(
+          res.time, std::max(lt.read_time / std::max(lt.throttle, 1e-3),
+                             lt.write_time));
+      const std::size_t sp_dev = tr.begin(kLaneLabels[i], "device", t0);
+      tr.annotate(sp_dev, "read_gbs", lt.read_bw / GB);
+      tr.annotate(sp_dev, "write_gbs", lt.write_bw / GB);
+      tr.annotate(sp_dev, "wpq_util", lt.wpq_util);
+      tr.annotate(sp_dev, "throttle", lt.throttle);
+      tr.end(sp_dev, t0 + busy);
+      // Per-channel bandwidth epoch stream (GB/s over this phase).
+      mr.epoch_sample("bw.read_gbs", kLaneLabels[i], t0, lt.read_bw / GB);
+      mr.epoch_sample("bw.write_gbs", kLaneLabels[i], t0,
+                      lt.write_bw / GB);
+    }
+    tr.end(sp_resolve, t1);
+    mr.observe(phase_hist_, res.time);
+    mr.add(read_bytes_ctr_, static_cast<double>(phase.read_bytes()));
+    mr.add(write_bytes_ctr_, static_cast<double>(phase.write_bytes()));
+    tr.end(sp_phase, t1);
+    last_phase_span_ = sp_phase;
+  }
   return res;
 }
 
@@ -337,6 +398,11 @@ void MemorySystem::advance(const std::string& name, double seconds) {
   require(seconds >= 0.0, "advance: negative duration");
   const double t0 = clock_;
   const double t1 = clock_ + seconds;
+  if (telemetry_ != nullptr) {
+    // Time outside the memory system still shows on the trace timeline.
+    const std::size_t sp = telemetry_->tracer().begin(name, "advance", t0);
+    telemetry_->tracer().end(sp, t1);
+  }
   if (seconds > 0.0) {
     traces_.dram_read.add_segment(t0, t1, 0.0);
     traces_.dram_write.add_segment(t0, t1, 0.0);

@@ -32,6 +32,7 @@
 #include "memsim/device.hpp"
 #include "memsim/dram_cache.hpp"
 #include "memsim/resolve.hpp"
+#include "obs/telemetry.hpp"
 #include "simcore/units.hpp"
 #include "trace/phase.hpp"
 #include "trace/run_traces.hpp"
@@ -143,6 +144,20 @@ class MemorySystem {
   const HwCounters& counters() const { return counters_; }
   const BufferTraffic& traffic(BufferId id) const;
 
+  // -- telemetry ---------------------------------------------------------
+  /// Attach (or detach with nullptr) a telemetry bundle.  When attached,
+  /// every submit() opens a phase -> resolve -> device span hierarchy on
+  /// the virtual clock and emits per-epoch metric samples (per-channel
+  /// bandwidth here; WPQ utilization and throttle from the resolver; cache
+  /// occupancy/hit/conflict rates from the DRAM cache).  The borrowed
+  /// Telemetry must outlive the attachment and is single-threaded, like
+  /// this class.  Detached (the default), each hook costs one branch.
+  void set_telemetry(Telemetry* telemetry);
+  Telemetry* telemetry() const { return telemetry_; }
+  /// Tracer index of the span covering the most recent submit();
+  /// Tracer::kNone before the first submit or without telemetry.
+  std::size_t last_phase_span() const { return last_phase_span_; }
+
   /// Clear clock, traces, counters and per-buffer traffic; optionally also
   /// drop the DRAM-cache contents.
   void reset_stats(bool drop_cache = false);
@@ -175,6 +190,11 @@ class MemorySystem {
   RunTraces traces_;
   HwCounters counters_;
   PhaseObserver observer_;
+  Telemetry* telemetry_ = nullptr;
+  std::size_t last_phase_span_ = Tracer::kNone;
+  MetricId phase_hist_;       ///< phase.duration_s histogram
+  MetricId read_bytes_ctr_;   ///< app.read_bytes counter
+  MetricId write_bytes_ctr_;  ///< app.write_bytes counter
 };
 
 }  // namespace nvms

@@ -61,7 +61,8 @@ std::pair<double, double> write_time_and_drain(const DeviceDemand& dem,
 MultiResolution resolve_lanes(const Phase& phase,
                               const std::vector<LaneDemand>& lanes,
                               const CpuParams& cpu, double upi_bytes,
-                              double upi_bw) {
+                              double upi_bw, EpochProbe* probe,
+                              double epoch_t) {
   require(phase.threads >= 1, "phase must use at least one thread");
   require(phase.mlp > 0.0, "phase mlp must be positive");
   require(phase.overlap >= 0.0 && phase.overlap <= 1.0,
@@ -149,6 +150,16 @@ MultiResolution resolve_lanes(const Phase& phase,
     if (T > 0.0) {
       out.read_bw = static_cast<double>(d.dem->read_total()) / T;
       out.write_bw = static_cast<double>(d.dem->write_total()) / T;
+    }
+    // Epoch telemetry: the converged WPQ utilization and the throttle the
+    // fixed point actually applied — the internal signals behind the
+    // paper's write-throttling traces (Sec. IV-C), otherwise discarded.
+    if (probe != nullptr &&
+        d.dem->read_total() + d.dem->write_total() > 0) {
+      const char* label = lanes[i].label != nullptr ? lanes[i].label
+                                                    : d.dev->name.c_str();
+      probe->epoch_sample("wpq.util", label, epoch_t, d.util);
+      probe->epoch_sample("throttle.read", label, epoch_t, d.f);
     }
   }
   return res;

@@ -19,6 +19,7 @@
 #include "memsim/cpu.hpp"
 #include "memsim/device.hpp"
 #include "memsim/wpq.hpp"
+#include "obs/epoch_probe.hpp"
 #include "trace/phase.hpp"
 
 namespace nvms {
@@ -68,6 +69,9 @@ struct PhaseResolution {
 struct LaneDemand {
   DeviceDemand dem;
   const DeviceParams* dev = nullptr;
+  /// Telemetry channel label ("dram0", "nvm1", ...); falls back to the
+  /// device name when null.
+  const char* label = nullptr;
 };
 
 struct MultiResolution {
@@ -78,11 +82,16 @@ struct MultiResolution {
 
 /// General N-lane resolution: every lane is resolved under the same fixed
 /// point as resolve_phase; `upi_bytes` crossing the socket interconnect
-/// add a shared-link constraint time >= upi_bytes / upi_bw.
+/// add a shared-link constraint time >= upi_bytes / upi_bw.  When `probe`
+/// is set, each active lane emits one post-convergence epoch sample of its
+/// WPQ utilization ("wpq.util") and applied read-throttle multiplier
+/// ("throttle.read") stamped at virtual time `epoch_t`.
 MultiResolution resolve_lanes(const Phase& phase,
                               const std::vector<LaneDemand>& lanes,
                               const CpuParams& cpu, double upi_bytes = 0.0,
-                              double upi_bw = 0.0);
+                              double upi_bw = 0.0,
+                              EpochProbe* probe = nullptr,
+                              double epoch_t = 0.0);
 
 PhaseResolution resolve_phase(const Phase& phase, const DeviceDemand& dram_dem,
                               const DeviceDemand& nvm_dem,

@@ -7,7 +7,8 @@
 //   * profiling (counters, per-phase samples, data-centric profiles),
 //   * the Eq. 1 IPC prediction model,
 //   * write-aware placement and the storage-tier snapshot machinery,
-//   * the registry/harness and report helpers.
+//   * the registry/harness and report helpers,
+//   * the telemetry layer (tracer spans, metric streams, exporters).
 #pragma once
 
 #include "appfw/app.hpp"
@@ -32,6 +33,10 @@
 #include "mem/space.hpp"
 #include "memsim/memory_system.hpp"
 #include "model/predictor.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
 #include "placement/trace_optimizer.hpp"
 #include "placement/write_aware.hpp"
 #include "pmem/log.hpp"

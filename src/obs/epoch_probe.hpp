@@ -1,0 +1,31 @@
+// EpochProbe: the hook simulator components call at each resolve step to
+// emit time-series metric samples.
+//
+// The paper's methodology is built on PCM counter streams sampled over
+// time (Sec. III); our simulator's equivalent of one PCM sampling epoch is
+// one resolved phase.  Components that own an internal signal — the WPQ
+// model (utilization), the resolver (applied read-throttle multiplier),
+// the DRAM cache (occupancy, hit/conflict rates), the memory system
+// (per-channel bandwidth) — push one sample per epoch through this
+// interface instead of discarding the value after the fixed point.
+//
+// The probe is always optional: every call site guards with a null check,
+// so a simulation without telemetry pays one predictable branch per hook
+// (see bench_ablation_logging for the measured cost).
+#pragma once
+
+#include <string_view>
+
+namespace nvms {
+
+class EpochProbe {
+ public:
+  virtual ~EpochProbe() = default;
+
+  /// Record that metric `name` on the sub-device `device` (e.g. "nvm0",
+  /// "dram-cache") had `value` at virtual time `t`.
+  virtual void epoch_sample(std::string_view name, std::string_view device,
+                            double t, double value) = 0;
+};
+
+}  // namespace nvms

@@ -1,0 +1,172 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+#include "simcore/json.hpp"
+
+namespace nvms {
+namespace {
+
+/// Deterministic compact double rendering (%.9g round-trips the metric
+/// magnitudes we emit and keeps traces small).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  return '"' + Json::escape(s) + '"';
+}
+
+void append_span_args(std::string& out, const SpanRecord& s,
+                      const ExportOptions& opt) {
+  bool first = true;
+  for (const auto& [k, v] : s.args) {
+    out += first ? "" : ",";
+    out += quoted(k);
+    out += ':';
+    out += num(v);
+    first = false;
+  }
+  if (opt.include_host_time) {
+    out += first ? "" : ",";
+    out += "\"host_s\":";
+    out += num(s.host_s);
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TelemetryPart>& parts,
+                              const ExportOptions& opt) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first_event = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first_event) out += ',';
+    out += '\n';
+    out += ev;
+    first_event = false;
+  };
+
+  int pid = 0;
+  for (const auto& part : parts) {
+    if (part.telemetry == nullptr) continue;
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":" +
+         quoted(part.name) + "}}");
+    for (const auto& s : part.telemetry->tracer().spans()) {
+      if (!s.closed) continue;  // abandoned scope (exception unwound)
+      std::string ev = "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+                       ",\"tid\":0,\"name\":" + quoted(s.name) +
+                       ",\"cat\":" + quoted(s.category) +
+                       ",\"ts\":" + num(s.t0 * 1e6) +
+                       ",\"dur\":" + num((s.t1 - s.t0) * 1e6);
+      if (!s.args.empty() || opt.include_host_time) {
+        ev += ",\"args\":{";
+        append_span_args(ev, s, opt);
+        ev += '}';
+      }
+      ev += '}';
+      emit(ev);
+    }
+    for (const auto& m : part.telemetry->metrics().metrics()) {
+      if (m.series.empty()) continue;
+      std::string track = m.name;
+      if (!m.labels.empty()) track += '[' + m.labels + ']';
+      const std::string head = "{\"ph\":\"C\",\"pid\":" +
+                               std::to_string(pid) +
+                               ",\"tid\":0,\"name\":" + quoted(track) +
+                               ",\"ts\":";
+      for (const auto& p : m.series) {
+        emit(head + num(p.t * 1e6) + ",\"args\":{\"value\":" + num(p.value) +
+             "}}");
+      }
+    }
+    ++pid;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string telemetry_jsonl(const std::vector<TelemetryPart>& parts,
+                            const ExportOptions& opt) {
+  std::string out;
+  for (const auto& part : parts) {
+    if (part.telemetry == nullptr) continue;
+    const auto& spans = part.telemetry->tracer().spans();
+    const auto& metrics = part.telemetry->metrics().metrics();
+    std::size_t points = 0;
+    for (const auto& m : metrics) points += m.series.size();
+    out += "{\"type\":\"part\",\"name\":" + quoted(part.name) +
+           ",\"spans\":" + std::to_string(spans.size()) +
+           ",\"points\":" + std::to_string(points) + "}\n";
+    for (const auto& s : spans) {
+      if (!s.closed) continue;
+      std::string line = "{\"type\":\"span\",\"part\":" + quoted(part.name) +
+                         ",\"name\":" + quoted(s.name) +
+                         ",\"cat\":" + quoted(s.category) +
+                         ",\"t0_s\":" + num(s.t0) + ",\"t1_s\":" + num(s.t1) +
+                         ",\"depth\":" + std::to_string(s.depth) +
+                         ",\"parent\":" +
+                         (s.parent == Tracer::kNone
+                              ? std::string("-1")
+                              : std::to_string(s.parent));
+      if (!s.args.empty() || opt.include_host_time) {
+        line += ",\"args\":{";
+        append_span_args(line, s, opt);
+        line += '}';
+      }
+      line += "}\n";
+      out += line;
+    }
+    for (const auto& m : metrics) {
+      for (const auto& p : m.series) {
+        out += "{\"type\":\"point\",\"part\":" + quoted(part.name) +
+               ",\"metric\":" + quoted(m.name) +
+               ",\"labels\":" + quoted(m.labels) + ",\"t_s\":" + num(p.t) +
+               ",\"value\":" + num(p.value) + "}\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string metrics_csv(const std::vector<TelemetryPart>& parts) {
+  std::string out = "part,metric,labels,t_s,value\n";
+  for (const auto& part : parts) {
+    if (part.telemetry == nullptr) continue;
+    for (const auto& m : part.telemetry->metrics().metrics()) {
+      // Multi-label metrics use ';' in the CSV cell so columns stay intact.
+      std::string labels = m.labels;
+      for (auto& c : labels) {
+        if (c == ',') c = ';';
+      }
+      const std::string prefix = part.name + ',' + m.name + ',' + labels + ',';
+      if (m.series.empty()) {
+        out += prefix + ',' + num(m.value) + '\n';
+        continue;
+      }
+      for (const auto& p : m.series) {
+        out += prefix + num(p.t) + ',' + num(p.value) + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const Telemetry& t, const std::string& name,
+                              const ExportOptions& opt) {
+  return chrome_trace_json({{name, &t}}, opt);
+}
+
+std::string telemetry_jsonl(const Telemetry& t, const std::string& name,
+                            const ExportOptions& opt) {
+  return telemetry_jsonl({{name, &t}}, opt);
+}
+
+std::string metrics_csv(const Telemetry& t, const std::string& name) {
+  return metrics_csv({{name, &t}});
+}
+
+}  // namespace nvms

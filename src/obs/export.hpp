@@ -1,0 +1,57 @@
+// Telemetry sinks: serialize one or many Telemetry instances to
+//   * Chrome trace_event JSON — loadable in chrome://tracing / Perfetto
+//     (spans become "X" complete events, epoch metric series become "C"
+//     counter tracks),
+//   * JSONL — one JSON object per span / metric point, for ad-hoc tooling,
+//   * CSV — the epoch metric streams as flat rows.
+//
+// Merging: exporters take a list of named parts and emit them in the given
+// order; the harness passes parts in grid order, so merged output is
+// byte-identical for any worker count.  All timestamps come from the
+// virtual simulation clock; host wall-clock span durations (which are not
+// deterministic) are only emitted when ExportOptions::include_host_time is
+// set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace nvms {
+
+/// One run's telemetry with the label it is merged under (the experiment
+/// grid label, the app name, ...).
+struct TelemetryPart {
+  std::string name;
+  const Telemetry* telemetry = nullptr;  ///< null parts are skipped
+};
+
+struct ExportOptions {
+  /// Emit host wall-clock span durations (non-deterministic) as span args.
+  bool include_host_time = false;
+};
+
+/// Chrome trace_event JSON.  Each part becomes one pid with a
+/// process_name metadata record; spans keep their hierarchy through
+/// ts/dur nesting on tid 0.
+std::string chrome_trace_json(const std::vector<TelemetryPart>& parts,
+                              const ExportOptions& opt = {});
+
+/// One JSON object per line: {"type":"span",...} and {"type":"point",...}.
+std::string telemetry_jsonl(const std::vector<TelemetryPart>& parts,
+                            const ExportOptions& opt = {});
+
+/// Epoch metric streams as CSV: part,metric,labels,t_s,value.  Scalar
+/// instruments (counters/gauges without a series, histograms) emit one
+/// summary row with an empty t_s.
+std::string metrics_csv(const std::vector<TelemetryPart>& parts);
+
+/// Single-run conveniences.
+std::string chrome_trace_json(const Telemetry& t, const std::string& name,
+                              const ExportOptions& opt = {});
+std::string telemetry_jsonl(const Telemetry& t, const std::string& name,
+                            const ExportOptions& opt = {});
+std::string metrics_csv(const Telemetry& t, const std::string& name);
+
+}  // namespace nvms

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvms {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string MetricsRegistry::canon_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+MetricId MetricsRegistry::intern(MetricKind kind, std::string name,
+                                 std::string labels) {
+  if (!capture_) return {};
+  std::string key = std::string(to_string(kind)) + '|' + name + '|' + labels;
+  const auto it = index_.find(key);
+  if (it != index_.end()) return {it->second};
+  Metric m;
+  m.kind = kind;
+  m.name = std::move(name);
+  m.labels = std::move(labels);
+  if (kind == MetricKind::kHistogram)
+    m.buckets.assign(Metric::kBuckets, 0);
+  const std::size_t idx = metrics_.size();
+  metrics_.push_back(std::move(m));
+  index_.emplace(std::move(key), idx);
+  return {idx};
+}
+
+MetricId MetricsRegistry::counter(std::string name, const Labels& labels) {
+  return intern(MetricKind::kCounter, std::move(name), canon_labels(labels));
+}
+
+MetricId MetricsRegistry::gauge(std::string name, const Labels& labels) {
+  return intern(MetricKind::kGauge, std::move(name), canon_labels(labels));
+}
+
+MetricId MetricsRegistry::histogram(std::string name, const Labels& labels) {
+  return intern(MetricKind::kHistogram, std::move(name),
+                canon_labels(labels));
+}
+
+namespace {
+
+void touch_stats(Metric& m, double value) {
+  ++m.count;
+  m.sum += value;
+  m.min = std::min(m.min, value);
+  m.max = std::max(m.max, value);
+}
+
+}  // namespace
+
+void MetricsRegistry::add(MetricId id, double delta) {
+  if (!capture_ || !id.valid()) return;
+  Metric& m = metrics_[id.index];
+  m.value += delta;
+  touch_stats(m, delta);
+}
+
+void MetricsRegistry::set(MetricId id, double value) {
+  if (!capture_ || !id.valid()) return;
+  Metric& m = metrics_[id.index];
+  m.value = value;
+  touch_stats(m, value);
+}
+
+void MetricsRegistry::observe(MetricId id, double value) {
+  if (!capture_ || !id.valid()) return;
+  Metric& m = metrics_[id.index];
+  m.value = value;
+  touch_stats(m, value);
+  if (!m.buckets.empty()) {
+    int b = Metric::kBucketBias;
+    if (value > 0.0) {
+      b += static_cast<int>(std::floor(std::log2(value)));
+    } else {
+      b = 0;  // zero/negative observations collapse into the lowest bucket
+    }
+    b = std::clamp(b, 0, Metric::kBuckets - 1);
+    ++m.buckets[static_cast<std::size_t>(b)];
+  }
+}
+
+void MetricsRegistry::sample(MetricId id, double t, double value) {
+  if (!capture_ || !id.valid()) return;
+  Metric& m = metrics_[id.index];
+  m.value = value;
+  touch_stats(m, value);
+  m.series.push_back({t, value});
+}
+
+void MetricsRegistry::epoch_sample(std::string_view name,
+                                   std::string_view device, double t,
+                                   double value) {
+  if (!capture_) return;
+  std::string labels;
+  if (!device.empty()) {
+    labels = "device=";
+    labels += device;
+  }
+  sample(intern(MetricKind::kGauge, std::string(name), std::move(labels)), t,
+         value);
+}
+
+const Metric* MetricsRegistry::find(std::string_view name,
+                                    std::string_view labels) const {
+  for (const auto& m : metrics_) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace nvms

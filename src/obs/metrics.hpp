@@ -1,0 +1,111 @@
+// MetricsRegistry: named counters, gauges and histograms with label
+// support, plus per-metric epoch time series.
+//
+// Metrics are identified by (kind, name, labels); registration dedupes, so
+// components can re-register idempotently and share an instrument.  Labels
+// are key=value pairs canonicalized into a stable string
+// ("device=nvm0,mode=memory") — the registry never reorders metrics, so
+// iteration (and every export) follows registration order and is
+// deterministic for a deterministic simulation.
+//
+// The registry implements EpochProbe: simulator components push one
+// (metric, device, t, value) sample per resolve epoch, which lands in a
+// gauge labeled device=<device> with a recorded time series.
+//
+// A registry constructed with capture == false is the null sink: every
+// mutator is a branch-and-return (see bench_ablation_logging).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/epoch_probe.hpp"
+
+namespace nvms {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+const char* to_string(MetricKind k);
+
+/// One epoch sample of a gauge.
+struct MetricPoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+struct Metric {
+  MetricKind kind = MetricKind::kGauge;
+  std::string name;
+  std::string labels;  ///< canonical "k=v,k=v" (possibly empty)
+
+  /// Counter: running total.  Gauge: last set/sampled value.
+  double value = 0.0;
+  std::uint64_t count = 0;  ///< updates observed
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  /// Histogram buckets: value v lands in bucket floor(log2(max(v,eps)))
+  /// clamped to [-kBucketBias, kBuckets - kBucketBias - 1].
+  static constexpr int kBuckets = 64;
+  static constexpr int kBucketBias = 32;
+  std::vector<std::uint64_t> buckets;  ///< sized kBuckets for histograms
+  /// Epoch time series (gauges sampled via sample()/epoch_sample()).
+  std::vector<MetricPoint> series;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct MetricId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  bool valid() const { return index != static_cast<std::size_t>(-1); }
+};
+
+class MetricsRegistry final : public EpochProbe {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  explicit MetricsRegistry(bool capture = true) : capture_(capture) {}
+
+  bool capture() const { return capture_; }
+
+  /// Register (or find) an instrument.  Ids stay valid for the registry's
+  /// lifetime.  With capture off, returns an invalid id.
+  MetricId counter(std::string name, const Labels& labels = {});
+  MetricId gauge(std::string name, const Labels& labels = {});
+  MetricId histogram(std::string name, const Labels& labels = {});
+
+  void add(MetricId id, double delta);      ///< counter increment
+  void set(MetricId id, double value);      ///< gauge update (no series)
+  void observe(MetricId id, double value);  ///< histogram observation
+  /// Gauge update that also appends a (t, value) point to the series.
+  void sample(MetricId id, double t, double value);
+
+  /// EpochProbe: gauge named `name` labeled device=<device>, with series.
+  void epoch_sample(std::string_view name, std::string_view device, double t,
+                    double value) override;
+
+  /// All metrics in registration order.
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Find a registered metric; nullptr when absent.
+  const Metric* find(std::string_view name,
+                     std::string_view labels = {}) const;
+
+  /// Canonical label string: "k=v,k=v" in the given order.
+  static std::string canon_labels(const Labels& labels);
+
+ private:
+  MetricId intern(MetricKind kind, std::string name, std::string labels);
+
+  bool capture_;
+  std::vector<Metric> metrics_;
+  /// "kind|name|labels" -> index.
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace nvms

@@ -1,0 +1,40 @@
+// Telemetry: the per-run observability bundle — one Tracer (spans) plus
+// one MetricsRegistry (instruments + epoch series).
+//
+// Ownership model: the harness (or a test/bench) owns the Telemetry and
+// attaches it to a MemorySystem with set_telemetry(); the simulator only
+// ever borrows the pointer.  Like the MemorySystem that feeds it, a
+// Telemetry instance is single-threaded — concurrent experiments each own
+// a private instance and the exporters merge them in grid order.
+//
+// Capture::kNull builds the null sink: hooks still run (so their cost is
+// measurable) but every record is dropped at emission.  Detaching
+// telemetry entirely (set_telemetry(nullptr)) is the "compiled out"
+// configuration where each hook is a single branch.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace nvms {
+
+class Telemetry {
+ public:
+  enum class Capture { kFull, kNull };
+
+  explicit Telemetry(Capture c = Capture::kFull)
+      : tracer_(c == Capture::kFull), metrics_(c == Capture::kFull) {}
+
+  bool null() const { return !tracer_.capture(); }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace nvms

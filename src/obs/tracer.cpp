@@ -1,0 +1,52 @@
+#include "obs/tracer.hpp"
+
+namespace nvms {
+
+std::size_t Tracer::begin(std::string name, std::string category, double vt) {
+  if (!capture_) return kNone;
+  SpanRecord s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.t0 = vt;
+  s.t1 = vt;
+  s.depth = static_cast<int>(open_.size());
+  s.parent = open_.empty() ? kNone : open_.back();
+  const std::size_t id = spans_.size();
+  spans_.push_back(std::move(s));
+  open_.push_back(id);
+  open_started_.push_back(HostClock::now());
+  return id;
+}
+
+void Tracer::end(std::size_t id, double vt) {
+  if (!capture_ || id == kNone) return;
+  // Pop until `id` is closed; abandoned deeper scopes close at the same
+  // virtual instant so the hierarchy of later spans stays consistent.
+  while (!open_.empty()) {
+    const std::size_t top = open_.back();
+    SpanRecord& s = spans_[top];
+    s.t1 = vt;
+    s.host_s =
+        std::chrono::duration<double>(HostClock::now() - open_started_.back())
+            .count();
+    s.closed = true;
+    open_.pop_back();
+    open_started_.pop_back();
+    if (top == id) return;
+  }
+}
+
+void Tracer::annotate(std::size_t id, std::string key, double value) {
+  if (!capture_ || id == kNone || id >= spans_.size()) return;
+  spans_[id].args.emplace_back(std::move(key), value);
+}
+
+std::size_t Tracer::count(std::string_view category) const {
+  std::size_t n = 0;
+  for (const auto& s : spans_) {
+    if (s.closed && s.category == category) ++n;
+  }
+  return n;
+}
+
+}  // namespace nvms

@@ -1,0 +1,78 @@
+// Tracer: hierarchical scoped spans over the simulation.
+//
+// Spans are stamped on BOTH clocks:
+//   * the virtual simulation clock (deterministic; what every exporter
+//     emits by default, so trace files are byte-identical across runs and
+//     worker counts), and
+//   * the host wall clock (how long the simulator itself spent inside the
+//     span; non-deterministic, exported only on request).
+//
+// A Tracer is single-threaded, like the MemorySystem that drives it: each
+// concurrent experiment owns a private Tracer and the harness merges them
+// in grid order (obs/export.hpp).  Spans nest through an explicit open
+// stack — begin() records depth and parent, end() closes the span and any
+// deeper spans left open (exception safety: an abandoned scope cannot
+// corrupt the hierarchy of later spans).
+//
+// A Tracer constructed with capture == false is the null sink: begin/end
+// compile down to a branch and a return, which is what keeps disabled
+// telemetry under the 2% overhead budget (bench_ablation_logging).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nvms {
+
+struct SpanRecord {
+  std::string name;
+  std::string category;  ///< span taxonomy level: "phase", "resolve", ...
+  double t0 = 0.0;       ///< virtual start, seconds
+  double t1 = 0.0;       ///< virtual end, seconds
+  double host_s = 0.0;   ///< host wall-clock time spent inside the span
+  int depth = 0;         ///< nesting depth at begin (0 = root)
+  std::size_t parent = static_cast<std::size_t>(-1);  ///< span index; -1 root
+  bool closed = false;   ///< false when the scope was abandoned (exception)
+  /// Numeric annotations ("read_gbs", 12.4); emitted as Chrome trace args.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  explicit Tracer(bool capture = true) : capture_(capture) {}
+
+  bool capture() const { return capture_; }
+
+  /// Open a span at virtual time `vt`.  Returns its index (kNone when
+  /// capture is off).
+  std::size_t begin(std::string name, std::string category, double vt);
+
+  /// Close span `id` at virtual time `vt`; deeper spans still open are
+  /// closed at the same instant.  kNone is ignored.
+  void end(std::size_t id, double vt);
+
+  /// Attach a numeric annotation to an open or closed span.
+  void annotate(std::size_t id, std::string key, double value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  std::size_t open_depth() const { return open_.size(); }
+
+  /// Spans (closed) whose category equals `category`.
+  std::size_t count(std::string_view category) const;
+
+ private:
+  using HostClock = std::chrono::steady_clock;
+
+  bool capture_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_;  ///< stack of open span indices
+  std::vector<HostClock::time_point> open_started_;
+};
+
+}  // namespace nvms

@@ -6,18 +6,15 @@ PhaseResolution RunRecorder::submit(const Phase& phase) {
   const HwCounters before = sys_->counters();
   const double t0 = sys_->now();
   const PhaseResolution res = sys_->submit(phase);
-  const HwCounters after = sys_->counters();
 
   CounterSample s;
   s.phase = phase.name;
   s.t0 = t0;
   s.t1 = sys_->now();
-  s.delta.instructions = after.instructions - before.instructions;
-  s.delta.cycles_active = after.cycles_active - before.cycles_active;
-  s.delta.stall_cycles = after.stall_cycles - before.stall_cycles;
-  s.delta.offcore_wait = after.offcore_wait - before.offcore_wait;
-  s.delta.imc_reads = after.imc_reads - before.imc_reads;
-  s.delta.imc_writes = after.imc_writes - before.imc_writes;
+  s.delta = sys_->counters() - before;
+  s.span_id = sys_->last_phase_span();
+  s.nvm_wpq_util = res.nvm.wpq_util;
+  s.nvm_throttle = res.nvm.throttle;
   samples_.push_back(std::move(s));
   return res;
 }

@@ -2,6 +2,7 @@
 // prediction model (Sec. V-A) and the basis of trace-level analysis.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "memsim/counters.hpp"
@@ -13,6 +14,14 @@ struct CounterSample {
   double t0 = 0.0;       ///< virtual start time
   double t1 = 0.0;       ///< virtual end time
   HwCounters delta;      ///< counter increments over [t0, t1]
+
+  /// Telemetry context: index of the phase span covering this sample in
+  /// the attached Telemetry's tracer (Tracer::kNone without telemetry),
+  /// plus the NVM-lane epoch metrics resolved for the phase — the signals
+  /// that explain the counter deltas (write throttling, Sec. IV-C).
+  std::size_t span_id = static_cast<std::size_t>(-1);
+  double nvm_wpq_util = 0.0;
+  double nvm_throttle = 1.0;
 
   double duration() const { return t1 - t0; }
   double ipc() const { return delta.ipc(); }

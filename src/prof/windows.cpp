@@ -29,7 +29,17 @@ std::vector<CounterSample> rebin_windows(
 
   for (const auto& s : samples) {
     const double dur = s.duration();
-    if (dur <= 0.0) continue;
+    if (dur <= 0.0) {
+      // Zero-duration phases still carry counts (instructions scale with
+      // flops, not time); deposit the whole delta into the window holding
+      // t0 so re-binning conserves totals.
+      const auto w = std::min(
+          n_windows - 1,
+          static_cast<std::size_t>(
+              std::max(0.0, (s.t0 - t_begin) / window_s)));
+      out[w].delta += s.delta;
+      continue;
+    }
     const auto first = static_cast<std::size_t>(
         std::max(0.0, (s.t0 - t_begin) / window_s));
     for (std::size_t w = first; w < n_windows; ++w) {
@@ -39,13 +49,7 @@ std::vector<CounterSample> rebin_windows(
         if (out[w].t0 >= s.t1) break;
         continue;
       }
-      const double frac = (hi - lo) / dur;
-      out[w].delta.instructions += s.delta.instructions * frac;
-      out[w].delta.cycles_active += s.delta.cycles_active * frac;
-      out[w].delta.stall_cycles += s.delta.stall_cycles * frac;
-      out[w].delta.offcore_wait += s.delta.offcore_wait * frac;
-      out[w].delta.imc_reads += s.delta.imc_reads * frac;
-      out[w].delta.imc_writes += s.delta.imc_writes * frac;
+      out[w].delta += s.delta * ((hi - lo) / dur);
     }
   }
   return out;

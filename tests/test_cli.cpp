@@ -173,6 +173,81 @@ TEST(Cli, SweepRejectsNegativeJobs) {
   EXPECT_NE(err.find("--jobs"), std::string::npos);
 }
 
+namespace {
+std::string slurp(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+}  // namespace
+
+TEST(Cli, RunWritesChromeTraceAndMetrics) {
+  const std::string trace = "/tmp/nvms_cli_obs_trace.json";
+  const std::string metrics = "/tmp/nvms_cli_obs_metrics.csv";
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "hacc", "--threads", "12", "--trace-out", trace,
+                     "--metrics-out", metrics},
+                    &out),
+            0);
+  const std::string json = slurp(trace);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"resolve\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"device\""), std::string::npos);
+  EXPECT_NE(json.find("wpq.util"), std::string::npos);
+  const std::string csv = slurp(metrics);
+  EXPECT_EQ(csv.rfind("part,metric,labels,t_s,value", 0), 0u);
+  EXPECT_NE(csv.find("throttle.read"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, SweepTraceOutIsByteIdenticalAcrossJobs) {
+  const std::string t1 = "/tmp/nvms_cli_obs_sweep1.json";
+  const std::string t4 = "/tmp/nvms_cli_obs_sweep4.json";
+  std::remove(t1.c_str());
+  std::remove(t4.c_str());
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--threads", "12,24", "--modes",
+                     "dram-only,uncached-nvm", "--jobs", "1", "--trace-out",
+                     t1}),
+            0);
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--threads", "12,24", "--modes",
+                     "dram-only,uncached-nvm", "--jobs", "4", "--trace-out",
+                     t4}),
+            0);
+  const std::string serial = slurp(t1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, slurp(t4));
+  // one merged part per grid cell
+  EXPECT_NE(serial.find("\"name\":\"dram-only/12/1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"name\":\"uncached-nvm/24/1\""), std::string::npos);
+  std::remove(t1.c_str());
+  std::remove(t4.c_str());
+}
+
+TEST(Cli, InspectSummarizesSpansAndMetrics) {
+  std::string out;
+  EXPECT_EQ(run_cli({"inspect", "hacc", "--threads", "12"}, &out), 0);
+  EXPECT_NE(out.find("span(s)"), std::string::npos);
+  EXPECT_NE(out.find("category"), std::string::npos);
+  EXPECT_NE(out.find("resolve"), std::string::npos);
+  EXPECT_NE(out.find("wpq.util"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+
+  std::string err;
+  EXPECT_EQ(run_cli({"inspect"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("missing application"), std::string::npos);
+}
+
 TEST(Cli, ProfileEmitsPlan) {
   std::string out;
   EXPECT_EQ(run_cli({"profile", "scalapack", "--budget", "35"}, &out), 0);
