@@ -6,10 +6,12 @@
 // normalized to DRAM (1.0 = DRAM): for runtime apps this is
 // t_dram / t_mode, for FoM apps fom_mode / fom_dram — higher is better in
 // both conventions, matching the paper's reading.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "harness/registry.hpp"
+#include "harness/sweep.hpp"
 #include "mem/space.hpp"
 #include "simcore/table.hpp"
 #include "simcore/thread_pool.hpp"
@@ -52,5 +54,33 @@ int main() {
       "Expected shape (paper): cached-NVM within ~10%% of DRAM except\n"
       "ScaLAPACK/Hypre/BoxLib (up to 28%% loss in Hypre); uncached-NVM\n"
       "shows the three sensitivity tiers of Table III.\n");
+
+  // Harness self-measurement: the same grid with phase-resolution
+  // memoization (--resolve-cache=shared in the CLI).  The rows must be
+  // byte-identical; only the wall clock may move.
+  {
+    using Clock = std::chrono::steady_clock;
+    SweepSpec spec;
+    spec.app = "xsbench";
+    spec.threads = {12, 24, 36, 48};
+    const auto t0 = Clock::now();
+    const auto plain = run_sweep(spec);
+    const auto t1 = Clock::now();
+    spec.resolve_cache = ResolveCacheMode::kShared;
+    const auto cached = run_sweep(spec);
+    const auto t2 = Clock::now();
+    const double off_s = std::chrono::duration<double>(t1 - t0).count();
+    const double on_s = std::chrono::duration<double>(t2 - t1).count();
+    const auto& cs = cached.cache_stats;
+    const auto& ss = cached.stream_stats;
+    std::printf(
+        "\nresolve-cache off/on over the xsbench grid: %.3f s -> %.3f s "
+        "(%.1f%% saved), resolve hit rate %.1f%%, stream-memo hit rate "
+        "%.1f%%, rows %s\n",
+        off_s, on_s, 100.0 * (1.0 - on_s / off_s), 100.0 * cs.hit_rate(),
+        100.0 * ss.hit_rate(),
+        sweep_csv(plain) == sweep_csv(cached) ? "byte-identical"
+                                              : "DIVERGED (bug!)");
+  }
   return 0;
 }

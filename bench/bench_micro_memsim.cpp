@@ -9,6 +9,7 @@
 #include "mem/buffer.hpp"
 #include "memsim/dram_cache.hpp"
 #include "memsim/memory_system.hpp"
+#include "memsim/resolve_cache.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/units.hpp"
 
@@ -60,6 +61,43 @@ void BM_CacheRandomStream(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_CacheRandomStream)->Arg(1 * MiB)->Arg(16 * MiB);
+
+// Memoized resolution: arg 0 = the plain damped fixed point, arg 1 = a
+// ResolveCache hot hit on the same inputs.  The gap between the two is
+// what a sweep saves on every repeated phase shape.
+void BM_ResolveCache(benchmark::State& state) {
+  const auto dram = ddr4_socket_params(96 * GiB);
+  const auto nvm = optane_socket_params(768 * GiB);
+  const CpuParams cpu;
+  Phase p;
+  p.name = "bm";
+  p.threads = 36;
+  p.flops = 1e9;
+  std::vector<LaneDemand> lanes(2);
+  lanes[0].dev = &dram;
+  lanes[0].label = "dram0";
+  lanes[1].dev = &nvm;
+  lanes[1].label = "nvm0";
+  lanes[1].dem.add(Pattern::kSequential, Dir::kRead, 54 * GiB);
+  lanes[1].dem.add(Pattern::kSequential, Dir::kWrite, 33 * GiB);
+  ResolveCache cache(1);
+  if (state.range(0) != 0) {
+    // Prime the single entry; every timed iteration is a hit.
+    benchmark::DoNotOptimize(
+        cache.resolve(p, lanes, cpu, 0.0, 0.0, nullptr, 0.0));
+  }
+  for (auto _ : state) {
+    if (state.range(0) != 0) {
+      benchmark::DoNotOptimize(
+          cache.resolve(p, lanes, cpu, 0.0, 0.0, nullptr, 0.0));
+    } else {
+      benchmark::DoNotOptimize(
+          resolve_lanes(p, lanes, cpu, 0.0, 0.0, nullptr, 0.0));
+    }
+  }
+  state.SetLabel(state.range(0) != 0 ? "hit" : "fixed-point");
+}
+BENCHMARK(BM_ResolveCache)->Arg(0)->Arg(1);
 
 void BM_SubmitPhase(benchmark::State& state) {
   MemorySystem sys(SystemConfig::testbed(Mode::kUncachedNvm));

@@ -1,7 +1,9 @@
 #include "cli/driver.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -42,6 +44,8 @@ commands:
       --json                emit the result as JSON
       --trace-out FILE      write a Chrome trace (chrome://tracing, Perfetto)
       --metrics-out FILE    write per-epoch metric streams as CSV
+      --resolve-cache[=off|run|shared]   memoize phase resolutions
+                            (results are byte-identical; default off)
   sweep <app>               run across modes x concurrency
       --modes a,b,c         (default: all three)
       --threads a,b,c       (default: 12,24,36,48)
@@ -53,6 +57,9 @@ commands:
       --stats FILE          write per-task executor timings as CSV
       --trace-out FILE      merged Chrome trace over the whole grid
       --metrics-out FILE    merged per-epoch metrics CSV over the grid
+      --resolve-cache[=off|run|shared]   memoize phase resolutions
+                            (shared: one cache for the grid; rows and
+                            exports are byte-identical either way)
   inspect <app>             run once with telemetry and summarize it
       --mode M --threads N --scale S --iters K
       --trace-out FILE --metrics-out FILE --jsonl FILE
@@ -88,6 +95,43 @@ bool write_file(const std::string& path, const std::string& content,
   }
   f << content;
   return true;
+}
+
+// Parse --resolve-cache[=off|run|shared]; a bare flag means "shared".
+// Reports and returns nullopt on unknown values.
+std::optional<ResolveCacheMode> cache_mode_from(const Options& opt,
+                                                std::ostream& err,
+                                                const char* cmd) {
+  const std::string v = opt.get("resolve-cache", "off");
+  const auto mode = parse_resolve_cache_mode(v == "true" ? "shared" : v);
+  if (!mode) {
+    err << cmd << ": unknown --resolve-cache mode '" << v
+        << "' (want off|run|shared)\n";
+  }
+  return mode;
+}
+
+void report_cache_line(const char* what, const ResolveCacheStats& s,
+                       std::ostream& err) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s: %llu hit(s), %llu miss(es), %llu "
+                "eviction(s), %zu entr%s, hit rate %.1f%%",
+                what, static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.evictions), s.entries,
+                s.entries == 1 ? "y" : "ies", 100.0 * s.hit_rate());
+  err << buf << "\n";
+}
+
+void report_cache_stats(const ResolveCacheStats& phases,
+                        const ResolveCacheStats& streams,
+                        std::ostream& err) {
+  report_cache_line("resolve-cache", phases, err);
+  // The stream memo only sees Memory-mode cells; stay quiet otherwise.
+  if (streams.hits + streams.misses > 0) {
+    report_cache_line("stream-memo", streams, err);
+  }
 }
 
 AppConfig config_from(const Options& opt) {
@@ -172,12 +216,22 @@ int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
     }
   }
   const AppConfig cfg = config_from(opt);
+  const auto cache_mode = cache_mode_from(opt, err, "run");
+  if (!cache_mode) return 2;
   const std::string trace_out = opt.get("trace-out", "");
   const std::string metrics_out = opt.get("metrics-out", "");
   Telemetry telemetry;
   const bool want_telemetry = !trace_out.empty() || !metrics_out.empty();
+  // A single run has nothing to share across: both non-off modes are one
+  // private cache reused across the run's phases.
+  std::optional<ResolveCache> cache;
+  if (*cache_mode != ResolveCacheMode::kOff) cache.emplace(/*shards=*/1);
   const AppResult r =
-      run_app_on(app, sys_cfg, cfg, want_telemetry ? &telemetry : nullptr);
+      run_app_on(app, sys_cfg, cfg, want_telemetry ? &telemetry : nullptr,
+                 cache.has_value() ? &*cache : nullptr);
+  if (cache.has_value()) {
+    report_cache_stats(cache->stats(), cache->stream_stats(), err);
+  }
 
   if (!trace_out.empty() &&
       !write_file(trace_out, chrome_trace_json(telemetry, app), err, "run")) {
@@ -270,10 +324,16 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   }
   spec.scales = {opt.get_double("scale", 1.0)};
   spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
+  const auto cache_mode = cache_mode_from(opt, err, "sweep");
+  if (!cache_mode) return 2;
+  spec.resolve_cache = *cache_mode;
   const std::string trace_out = opt.get("trace-out", "");
   const std::string metrics_out = opt.get("metrics-out", "");
   spec.telemetry = !trace_out.empty() || !metrics_out.empty();
   const auto result = run_sweep(spec);
+  if (spec.resolve_cache != ResolveCacheMode::kOff) {
+    report_cache_stats(result.cache_stats, result.stream_stats, err);
+  }
 
   if (!trace_out.empty() &&
       !write_file(trace_out, sweep_chrome_trace(result), err, "sweep")) {

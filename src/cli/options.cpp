@@ -11,9 +11,14 @@ Options Options::parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
+      std::string key = arg.substr(2);
       require(!key.empty(), "empty option name");
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --key=value binds inline; a bare "--key=" means the empty value.
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        o.kv_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         o.kv_[key] = argv[++i];
       } else {
         o.kv_[key] = "true";  // bare flag

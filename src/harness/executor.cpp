@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <optional>
 
 #include "harness/registry.hpp"
 #include "simcore/error.hpp"
@@ -107,9 +108,16 @@ std::vector<ExperimentOutcome> run_experiments(
       if (tasks[i].telemetry) {
         outcomes[i].telemetry = std::make_shared<Telemetry>();
       }
-      outcomes[i].result = run_app_on(tasks[i].app, tasks[i].sys,
-                                      tasks[i].cfg,
-                                      outcomes[i].telemetry.get());
+      // A private cache lives on this worker's stack for the task's
+      // duration; a shared one is borrowed from the caller.
+      std::optional<ResolveCache> priv;
+      ResolveCache* cache = tasks[i].resolve_cache;
+      if (cache == nullptr && tasks[i].private_resolve_cache) {
+        cache = &priv.emplace(/*shards=*/1);
+      }
+      outcomes[i].result =
+          run_app_on(tasks[i].app, tasks[i].sys, tasks[i].cfg,
+                     outcomes[i].telemetry.get(), cache);
     } catch (const CapacityError& e) {
       outcomes[i].skipped = true;
       outcomes[i].skip_reason = e.what();

@@ -82,9 +82,11 @@ AppResult run_app(const std::string& name, Mode mode, const AppConfig& cfg) {
 }
 
 AppResult run_app_on(const std::string& name, SystemConfig sys_cfg,
-                     const AppConfig& cfg, Telemetry* telemetry) {
+                     const AppConfig& cfg, Telemetry* telemetry,
+                     ResolveCache* resolve_cache) {
   MemorySystem sys(std::move(sys_cfg));
   if (telemetry != nullptr) sys.set_telemetry(telemetry);
+  if (resolve_cache != nullptr) sys.set_resolve_cache(resolve_cache);
   AppContext ctx(sys, cfg);
   return lookup_app(name).run(ctx);
 }

@@ -1,6 +1,8 @@
 #include "harness/sweep.hpp"
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 
 #include "harness/registry.hpp"
 #include "simcore/error.hpp"
@@ -22,10 +24,28 @@ SweepResult run_sweep(const SweepSpec& spec) {
   spec.validate();
   (void)lookup_app(spec.app);  // fail fast on unknown apps
 
+  // Resolve-cache plumbing: one striped instance for the whole grid
+  // (kShared) or one single-shard instance per cell (kPerRun) — the
+  // latter owned here, not inside the executor, so statistics survive the
+  // tasks and can be aggregated into the result.
+  const std::size_t cells =
+      spec.modes.size() * spec.threads.size() * spec.scales.size();
+  std::optional<ResolveCache> shared_cache;
+  std::vector<std::unique_ptr<ResolveCache>> cell_caches;
+  if (spec.resolve_cache == ResolveCacheMode::kShared) {
+    shared_cache.emplace(
+        static_cast<std::size_t>(spec.jobs > 0 ? spec.jobs : 0));
+  } else if (spec.resolve_cache == ResolveCacheMode::kPerRun) {
+    cell_caches.reserve(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      cell_caches.push_back(std::make_unique<ResolveCache>(/*shards=*/1));
+    }
+  }
+
   // Build the grid in mode-major order; the executor returns outcomes in
   // this same order regardless of worker interleaving.
   std::vector<ExperimentConfig> grid;
-  grid.reserve(spec.modes.size() * spec.threads.size() * spec.scales.size());
+  grid.reserve(cells);
   for (const Mode mode : spec.modes) {
     for (const int threads : spec.threads) {
       for (const double scale : spec.scales) {
@@ -36,6 +56,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
         task.cfg.size_scale = scale;
         task.cfg.seed = derive_task_seed(spec.seed, grid.size());
         task.telemetry = spec.telemetry;
+        if (shared_cache.has_value()) {
+          task.resolve_cache = &*shared_cache;
+        } else if (!cell_caches.empty()) {
+          task.resolve_cache = cell_caches[grid.size()].get();
+        }
         char label[96];
         std::snprintf(label, sizeof label, "%s/%d/%.4g", to_string(mode),
                       threads, scale);
@@ -47,6 +72,22 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   SweepResult result;
   const auto outcomes = run_experiments(grid, spec.jobs, &result.stats);
+
+  if (shared_cache.has_value()) {
+    result.cache_stats = shared_cache->stats();
+    result.stream_stats = shared_cache->stream_stats();
+  } else {
+    for (const auto& c : cell_caches) {
+      for (const auto& [into, from] :
+           {std::pair{&result.cache_stats, c->stats()},
+            std::pair{&result.stream_stats, c->stream_stats()}}) {
+        into->hits += from.hits;
+        into->misses += from.misses;
+        into->evictions += from.evictions;
+        into->entries += from.entries;
+      }
+    }
+  }
 
   if (spec.telemetry) {
     // Keep grid order (including skipped cells that collected anything

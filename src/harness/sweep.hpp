@@ -31,6 +31,11 @@ struct SweepSpec {
   /// grid cell records into its own Telemetry; the merged exports follow
   /// grid order, so they too are byte-identical for any jobs count.
   bool telemetry = false;
+  /// Phase-resolution memoization for the grid (resolve_cache.hpp):
+  /// kShared gives every cell one striped cache (one shard per worker),
+  /// kPerRun a private cache per cell.  Either way rows and exports are
+  /// byte-identical to kOff — only the wall clock changes.
+  ResolveCacheMode resolve_cache = ResolveCacheMode::kOff;
 
   void validate() const;
 };
@@ -65,6 +70,12 @@ struct SweepResult {
   /// `telemetry` keep the parts' pointees alive.
   std::vector<std::shared_ptr<Telemetry>> telemetry;
   std::vector<std::string> telemetry_labels;
+  /// Resolve-cache statistics for the grid (all zero when the spec ran
+  /// with ResolveCacheMode::kOff; per-cell caches are aggregated).
+  ResolveCacheStats cache_stats;
+  /// DRAM-cache stream-memo statistics (nonzero only for Memory-mode
+  /// cells; the sampler walks dominate those cells' wall clock).
+  ResolveCacheStats stream_stats;
 
   /// Labeled views over `telemetry` for the obs exporters.
   std::vector<TelemetryPart> parts() const;

@@ -1,10 +1,24 @@
 #include "memsim/dram_cache.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
+#include "memsim/resolve_cache.hpp"
 #include "simcore/error.hpp"
 
 namespace nvms {
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+}  // namespace
 
 void CacheParams::validate() const {
   require(line >= 64 && (line & (line - 1)) == 0,
@@ -41,15 +55,56 @@ DramCache::DramCache(const CacheParams& params)
   params_.validate();
   sets_ = params_.capacity / params_.line;
   sample_mod_ = 1;
-  while (sets_ / sample_mod_ > params_.max_sets) sample_mod_ *= 2;
+  // Grow the sampling stride only while it divides the set count: the
+  // snap/clamp arithmetic in access() needs (line % sets_) % sample_mod_
+  // == line % sample_mod_ to hold uniformly.
+  while (sets_ / sample_mod_ > params_.max_sets &&
+         sets_ % (sample_mod_ * 2) == 0) {
+    sample_mod_ *= 2;
+  }
   tags_.assign(sets_ / sample_mod_, kEmpty);
   dirty_.assign(tags_.size(), 0);
+  // Root of the history digest: everything besides the access sequence
+  // that the walk outcomes depend on.
+  chain0_.fold(params_.line);
+  chain0_.fold(params_.capacity);
+  chain0_.fold(params_.max_sets);
+  chain0_.fold(params_.seed);
+  chain0_.fold(double_bits(params_.conflict_knee));
+  chain0_.fold(double_bits(params_.conflict_max));
+  chain_ = chain0_;
 }
 
 void DramCache::reset() {
+  // The RNG deliberately keeps its state across reset(), so the real
+  // trajectory must be caught up first (skipped walks advance the RNG).
+  catch_up();
   std::fill(tags_.begin(), tags_.end(), kEmpty);
   std::fill(dirty_.begin(), dirty_.end(), 0);
   valid_ = 0;
+  chain_.fold(kResetMarker);
+}
+
+void DramCache::catch_up() {
+  if (pending_.empty()) return;
+  // Replay the walks that memo hits skipped, in order: the walk is
+  // deterministic, so this rebuilds exactly the tag/dirty/RNG state a
+  // memo-less run would hold here.  Outcomes are already known; discard.
+  std::vector<PendingAccess> replay;
+  replay.swap(pending_);
+  for (const auto& p : replay) (void)walk(p.stream, p.base, p.size);
+}
+
+void DramCache::fold_access(const StreamDesc& stream, std::uint64_t base,
+                            std::uint64_t size) {
+  chain_.fold((static_cast<std::uint64_t>(stream.pattern) << 32) |
+              (static_cast<std::uint64_t>(stream.dir) << 16) |
+              static_cast<std::uint64_t>(stream.reuse));
+  chain_.fold(stream.bytes);
+  chain_.fold(stream.granule);
+  chain_.fold(stream.reuse_block);
+  chain_.fold(base);
+  chain_.fold(size);
 }
 
 double DramCache::occupancy() const {
@@ -95,10 +150,65 @@ CacheOutcome DramCache::touch(std::uint64_t line_addr, bool is_write) {
   return out;
 }
 
+std::uint64_t DramCache::snap_line(std::uint64_t line,
+                                   std::uint64_t base_line,
+                                   std::uint64_t lines_in_buf) const {
+  std::uint64_t snapped = line - (line % sets_) % sample_mod_;
+  // The downward snap can cross base_line into the previous buffer;
+  // stepping one sampled set up (sets_ % sample_mod_ == 0 keeps it
+  // sampled) returns into this buffer whenever it holds a sampled line.
+  if (snapped < base_line) snapped += sample_mod_;
+  if (snapped >= base_line + lines_in_buf && snapped >= sample_mod_) {
+    snapped -= sample_mod_;  // degenerate: no sampled line in the buffer
+  }
+  return snapped;
+}
+
 CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
                                std::uint64_t size) {
+  // Empty accesses touch no state; keep them out of the history digest so
+  // both sides of a memo stay consistent for free.
+  if (stream.bytes == 0 || size == 0) return CacheOutcome{};
+
+  if (memo_ == nullptr) {
+    fold_access(stream, base, size);  // keep the digest attachable mid-run
+    const CachedStreamOutcome computed = walk(stream, base, size);
+    emit_probe(computed);
+    return computed.outcome;
+  }
+
+  // Key = digest of the full prior history + this access, exactly.  Word
+  // equality pins the current access; the 128-bit digest pins the history.
+  ResolveKey key;
+  key.add_word(chain_.lo);
+  key.add_word(chain_.hi);
+  key.add_word((static_cast<std::uint64_t>(stream.pattern) << 32) |
+               (static_cast<std::uint64_t>(stream.dir) << 16) |
+               static_cast<std::uint64_t>(stream.reuse));
+  key.add_word(stream.bytes);
+  key.add_word(stream.granule);
+  key.add_word(stream.reuse_block);
+  key.add_word(base);
+  key.add_word(size);
+  fold_access(stream, base, size);
+
+  CachedStreamOutcome hit;
+  if (memo_->lookup(key, &hit)) {
+    // Skip the walk; remember it so a later miss can rebuild real state.
+    pending_.push_back({stream, base, size});
+    emit_probe(hit);
+    return hit.outcome;
+  }
+  catch_up();
+  CachedStreamOutcome computed = walk(stream, base, size);
+  memo_->insert(key, computed);
+  emit_probe(computed);
+  return computed.outcome;
+}
+
+CachedStreamOutcome DramCache::walk(const StreamDesc& stream,
+                                    std::uint64_t base, std::uint64_t size) {
   CacheOutcome total;
-  if (stream.bytes == 0 || size == 0) return total;
   const std::uint64_t L = params_.line;
   const std::uint64_t base_line = base / L;
   const std::uint64_t lines_in_buf = std::max<std::uint64_t>(1, size / L);
@@ -113,8 +223,9 @@ CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
     const std::uint64_t n = std::max<std::uint64_t>(1, touches / sample_mod_);
     for (std::uint64_t i = 0; i < n; ++i) {
       std::uint64_t line = base_line + rng_.below(lines_in_buf);
-      // snap to a sampled set (preserves uniformity over sampled sets)
-      line -= (line % sets_) % sample_mod_;
+      // snap to a sampled set (preserves uniformity over sampled sets),
+      // clamped into this buffer's line range
+      line = snap_line(line, base_line, lines_in_buf);
       sampled += touch(line, is_write);
       ++simulated;
     }
@@ -135,24 +246,38 @@ CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
             : std::max<std::uint64_t>(1, lines_in_buf / distinct);
     std::uint64_t visited = 0;
     const std::uint64_t budget = (touches / sample_mod_) + 1;
-    for (std::uint64_t b = 0; b * block_lines < distinct && visited < budget;
-         ++b) {
-      const std::uint64_t in_block =
-          std::min(block_lines, distinct - b * block_lines);
-      for (std::uint32_t r = 0; r < reuse && visited < budget; ++r) {
-        for (std::uint64_t i = 0; i < in_block && visited < budget; ++i) {
-          const std::uint64_t line =
-              base_line + ((b * block_lines + i) * stride) % lines_in_buf;
-          if ((line % sets_) % sample_mod_ != 0) continue;
-          sampled += touch(line, is_write);
-          ++visited;
+    const auto walk = [&](bool snap) {
+      for (std::uint64_t b = 0;
+           b * block_lines < distinct && visited < budget; ++b) {
+        const std::uint64_t in_block =
+            std::min(block_lines, distinct - b * block_lines);
+        for (std::uint32_t r = 0; r < reuse && visited < budget; ++r) {
+          for (std::uint64_t i = 0; i < in_block && visited < budget; ++i) {
+            std::uint64_t line =
+                base_line + ((b * block_lines + i) * stride) % lines_in_buf;
+            if ((line % sets_) % sample_mod_ != 0) {
+              if (!snap) continue;
+              line = snap_line(line, base_line, lines_in_buf);
+            }
+            sampled += touch(line, is_write);
+            ++visited;
+          }
         }
       }
+    };
+    walk(/*snap=*/false);
+    if (visited == 0) {
+      // A stride sharing a factor with sample_mod_ launched from an
+      // off-phase base set steps over every sampled set; the plain walk
+      // then simulates nothing and the whole stream's traffic vanishes
+      // from the model.  Re-walk with each line snapped to its nearest
+      // in-buffer sampled set so the stream is still represented.
+      walk(/*snap=*/true);
     }
     simulated = visited;
   }
 
-  if (simulated == 0) return total;
+  if (simulated == 0) return {total, occupancy(), 0.0, /*simulated=*/false};
 
   // Conflict-miss model: at high occupancy, physically-scattered pages
   // alias in the direct-mapped cache; convert a fraction of hits into
@@ -194,22 +319,26 @@ CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
   total.hits = sc(sampled.hits);
   total.misses = sc(sampled.misses);
 
-  // Epoch telemetry: the internal cache signals (occupancy, achieved hit
-  // rate, conflict-miss fraction) behind the paper's Memory-mode traces
-  // (Fig. 4) — one sample per stream access.
-  if (probe_ != nullptr) {
-    const double touched =
-        static_cast<double>(total.hits + total.misses);
-    probe_->epoch_sample("cache.occupancy", "dram-cache", epoch_t_,
-                         occupancy());
-    if (touched > 0.0) {
-      probe_->epoch_sample("cache.hit_rate", "dram-cache", epoch_t_,
-                           static_cast<double>(total.hits) / touched);
-    }
-    probe_->epoch_sample("cache.conflict_rate", "dram-cache", epoch_t_,
-                         conflict);
+  return {total, occupancy(), conflict, /*simulated=*/true};
+}
+
+// Epoch telemetry: the internal cache signals (occupancy, achieved hit
+// rate, conflict-miss fraction) behind the paper's Memory-mode traces
+// (Fig. 4) — one sample per stream access.  The values come from the
+// CachedStreamOutcome, so a memo hit replays the exact samples the
+// original walk emitted (re-stamped at the current epoch time).
+void DramCache::emit_probe(const CachedStreamOutcome& c) {
+  if (probe_ == nullptr || !c.simulated) return;
+  const double touched =
+      static_cast<double>(c.outcome.hits + c.outcome.misses);
+  probe_->epoch_sample("cache.occupancy", "dram-cache", epoch_t_,
+                       c.occupancy);
+  if (touched > 0.0) {
+    probe_->epoch_sample("cache.hit_rate", "dram-cache", epoch_t_,
+                         static_cast<double>(c.outcome.hits) / touched);
   }
-  return total;
+  probe_->epoch_sample("cache.conflict_rate", "dram-cache", epoch_t_,
+                       c.conflict);
 }
 
 }  // namespace nvms

@@ -25,6 +25,13 @@
 
 namespace nvms {
 
+// The stream-walk memo lives with the other memoization machinery in
+// resolve_cache.hpp; DramCache only borrows a pointer.
+template <typename Value>
+class ShardedMemo;
+struct CachedStreamOutcome;
+using StreamMemo = ShardedMemo<CachedStreamOutcome>;
+
 struct CacheParams {
   std::uint64_t line = 4096;      ///< simulated line granularity, bytes
   std::uint64_t capacity = 0;     ///< bytes (the DRAM size)
@@ -85,20 +92,82 @@ class DramCache {
   void set_probe(EpochProbe* probe) { probe_ = probe; }
   void set_epoch_time(double t) { epoch_t_ = t; }
 
+  /// Stream-walk memoization.  access() is deterministic in the full
+  /// access history since construction/reset (geometry, seed, every
+  /// (stream, base, size) in order), so each call is keyed by a 128-bit
+  /// digest of that history plus the current access and its sampled walk
+  /// is skipped on a memo hit.  Skipped walks leave the tag array and RNG
+  /// behind; they are recorded and deterministically replayed the moment a
+  /// miss needs real state again (divergent trajectories pay a one-time
+  /// catch-up, identical trajectories never walk).  Outcomes, counters and
+  /// epoch telemetry are byte-identical with and without a memo.
+  void set_memo(StreamMemo* memo) { memo_ = memo; }
+
  private:
+  /// Two independent 64-bit folds over the access history; 128 bits make
+  /// digest collisions (the one probabilistic element of the memo)
+  /// negligible at any realistic sweep size.
+  struct HistoryDigest {
+    std::uint64_t lo = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+    std::uint64_t hi = 0x9E3779B97F4A7C15ull;  // golden-ratio constant
+    void fold(std::uint64_t w) {
+      lo = (lo ^ w) * 0x100000001B3ull;        // FNV-1a prime
+      hi = (hi ^ w) * 0xC2B2AE3D27D4EB4Full;   // independent odd multiplier
+    }
+  };
+  struct PendingAccess {
+    StreamDesc stream;
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+  };
+
   CacheOutcome touch(std::uint64_t line_addr, bool is_write);
+  /// The sampled walk behind access(): advances tags/dirty/RNG and returns
+  /// the outcome plus the probe-replay signals.  Emits no telemetry.
+  CachedStreamOutcome walk(const StreamDesc& stream, std::uint64_t base,
+                           std::uint64_t size);
+  /// Emit the epoch samples of one (real or memo-replayed) access.
+  void emit_probe(const CachedStreamOutcome& c);
+  void fold_access(const StreamDesc& stream, std::uint64_t base,
+                   std::uint64_t size);
+  /// Replay every pending (memo-skipped) walk to rebuild real state.
+  void catch_up();
+  /// Snap `line` to a sampled set without leaving its buffer: the naive
+  /// downward snap can land below `base_line` and alias the tail of the
+  /// previous buffer (phantom hits/evictions against another buffer's
+  /// lines).  Clamps into [base_line, base_line + lines_in_buf) whenever a
+  /// sampled line exists there; buffers smaller than sample_mod_ lines may
+  /// span no sampled set at all, in which case the nearest sampled line is
+  /// kept (deterministic, aliasing bounded by sample_mod_ lines).
+  std::uint64_t snap_line(std::uint64_t line, std::uint64_t base_line,
+                          std::uint64_t lines_in_buf) const;
 
   EpochProbe* probe_ = nullptr;
   double epoch_t_ = 0.0;
   CacheParams params_;
-  std::uint64_t sets_ = 0;        ///< total sets in the modelled cache
-  std::uint64_t sample_mod_ = 1;  ///< simulate sets where set % mod == 0
+  std::uint64_t sets_ = 0;  ///< total sets in the modelled cache
+  /// Simulate sets where set % mod == 0.  Invariant: sample_mod_ divides
+  /// sets_, so (line % sets_) % sample_mod_ == line % sample_mod_ and
+  /// snapping stays uniform across the address space (the ctor stops
+  /// doubling rather than break this).
+  std::uint64_t sample_mod_ = 1;
   std::vector<std::uint64_t> tags_;  ///< per sampled set; kEmpty when invalid
   std::vector<std::uint8_t> dirty_;
   std::uint64_t valid_ = 0;
   Rng rng_;
 
+  StreamMemo* memo_ = nullptr;
+  HistoryDigest chain0_;  ///< digest of the geometry/seed (construction)
+  /// Digest of chain0_ + every access (and reset) so far.  reset() folds a
+  /// marker rather than restoring chain0_ because the RNG keeps its state
+  /// across reset — the post-reset trajectory still depends on the prefix.
+  HistoryDigest chain_;
+  /// Accesses whose walks a memo hit skipped, in order — replayed to
+  /// rebuild tags/dirty/RNG when a miss needs real state again.
+  std::vector<PendingAccess> pending_;
+
   static constexpr std::uint64_t kEmpty = ~0ull;
+  static constexpr std::uint64_t kResetMarker = 0x5245534554ull;  // "RESET"
 };
 
 }  // namespace nvms

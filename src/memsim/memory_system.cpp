@@ -6,6 +6,11 @@
 
 namespace nvms {
 
+namespace {
+/// Telemetry channel labels, lane-indexed (socket*2 + device).
+constexpr const char* kLaneLabels[4] = {"dram0", "nvm0", "dram1", "nvm1"};
+}  // namespace
+
 const char* to_string(NumaPolicy p) {
   switch (p) {
     case NumaPolicy::kLocalSocket:
@@ -91,6 +96,15 @@ MemorySystem::MemorySystem(SystemConfig config)
     d->read_bw_peak *= config_.upi_bw_factor;
     d->write_bw_peak *= config_.upi_bw_factor;
     d->combined_bw_peak *= config_.upi_bw_factor;
+  }
+  // Hot-path scratch: sized once, reused by every submit().
+  lane_dem_.resize(4);
+  lanes_.resize(static_cast<std::size_t>(config_.sockets) * 2);
+  lanes_[0] = {DeviceDemand{}, &dram_effective_, kLaneLabels[0]};
+  lanes_[1] = {DeviceDemand{}, &nvm_effective_, kLaneLabels[1]};
+  if (config_.sockets == 2) {
+    lanes_[2] = {DeviceDemand{}, &dram_remote_, kLaneLabels[2]};
+    lanes_[3] = {DeviceDemand{}, &nvm_remote_, kLaneLabels[3]};
   }
 }
 
@@ -283,11 +297,6 @@ void MemorySystem::route_stream(const StreamDesc& s,
   }
 }
 
-namespace {
-/// Telemetry channel labels, lane-indexed (socket*2 + device).
-constexpr const char* kLaneLabels[4] = {"dram0", "nvm0", "dram1", "nvm1"};
-}  // namespace
-
 void MemorySystem::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
   last_phase_span_ = Tracer::kNone;
@@ -314,26 +323,28 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
     cache_.set_epoch_time(t0v);
     probe = &telemetry_->metrics();
   }
-  // Lanes: [dram0, nvm0] plus [dram1, nvm1] on two-socket systems.
-  std::vector<DeviceDemand> lane_dem(4);
+  // Lanes: [dram0, nvm0] plus [dram1, nvm1] on two-socket systems.  The
+  // demand scratch and the LaneDemand views are members reused across
+  // submits — the hot path performs no heap allocation.
+  std::vector<DeviceDemand>& lane_dem = lane_dem_;
+  for (auto& d : lane_dem) d = DeviceDemand{};
   double upi_bytes = 0.0;
   for (const auto& s : phase.streams) route_stream(s, lane_dem, upi_bytes);
 
-  std::vector<LaneDemand> lanes(config_.sockets * 2);
-  lanes[0] = {lane_dem[0], &dram_effective_, kLaneLabels[0]};
-  lanes[1] = {lane_dem[1], &nvm_effective_, kLaneLabels[1]};
-  if (config_.sockets == 2) {
-    lanes[2] = {lane_dem[2], &dram_remote_, kLaneLabels[2]};
-    lanes[3] = {lane_dem[3], &nvm_remote_, kLaneLabels[3]};
-  } else {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) lanes_[i].dem = lane_dem[i];
+  if (config_.sockets != 2) {
     NVMS_ASSERT(lane_dem[2].read_total() + lane_dem[2].write_total() +
                         lane_dem[3].read_total() +
                         lane_dem[3].write_total() ==
                     0,
                 "remote traffic on a single-socket system");
   }
-  const MultiResolution multi = resolve_lanes(
-      phase, lanes, config_.cpu, upi_bytes, config_.upi_bw, probe, t0v);
+  const MultiResolution multi =
+      resolve_cache_ != nullptr
+          ? resolve_cache_->resolve(phase, lanes_, config_.cpu, upi_bytes,
+                                    config_.upi_bw, probe, t0v)
+          : resolve_lanes(phase, lanes_, config_.cpu, upi_bytes,
+                          config_.upi_bw, probe, t0v);
 
   PhaseResolution res;
   res.time = multi.time;
@@ -346,6 +357,15 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
     res.dram.write_bw += multi.lanes[2].write_bw;
     res.nvm.read_bw += multi.lanes[3].read_bw;
     res.nvm.write_bw += multi.lanes[3].write_bw;
+    // WPQ/throttle context reports the worst write pressure across the
+    // sockets per device class — the max utilization and the minimum
+    // (most throttled) read multiplier — so a remote-heavy write phase is
+    // not under-reported as local-socket idle (RunRecorder attaches these
+    // to every counter sample).
+    res.dram.wpq_util = std::max(res.dram.wpq_util, multi.lanes[2].wpq_util);
+    res.dram.throttle = std::min(res.dram.throttle, multi.lanes[2].throttle);
+    res.nvm.wpq_util = std::max(res.nvm.wpq_util, multi.lanes[3].wpq_util);
+    res.nvm.throttle = std::min(res.nvm.throttle, multi.lanes[3].throttle);
   }
 
   const double t0 = clock_;

@@ -32,6 +32,7 @@
 #include "memsim/device.hpp"
 #include "memsim/dram_cache.hpp"
 #include "memsim/resolve.hpp"
+#include "memsim/resolve_cache.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/units.hpp"
 #include "trace/phase.hpp"
@@ -154,6 +155,18 @@ class MemorySystem {
   /// this class.  Detached (the default), each hook costs one branch.
   void set_telemetry(Telemetry* telemetry);
   Telemetry* telemetry() const { return telemetry_; }
+
+  /// Attach (or detach with nullptr) a phase-resolution memoization cache
+  /// (memsim/resolve_cache.hpp).  The borrowed cache must outlive the
+  /// attachment; it may be shared across systems/threads (ResolveCache is
+  /// mutex-striped).  Its stream memo is handed to the DRAM cache, so
+  /// Memory-mode sampler walks are memoized too.  Resolutions, outcomes
+  /// and telemetry streams are byte-identical with and without a cache.
+  void set_resolve_cache(ResolveCache* cache) {
+    resolve_cache_ = cache;
+    cache_.set_memo(cache != nullptr ? &cache->streams() : nullptr);
+  }
+  ResolveCache* resolve_cache() const { return resolve_cache_; }
   /// Tracer index of the span covering the most recent submit();
   /// Tracer::kNone before the first submit or without telemetry.
   std::size_t last_phase_span() const { return last_phase_span_; }
@@ -190,7 +203,13 @@ class MemorySystem {
   RunTraces traces_;
   HwCounters counters_;
   PhaseObserver observer_;
+  /// Per-submit scratch, reused to keep the hot path allocation-free:
+  /// lane_dem_ holds the four per-lane demands being routed, lanes_ the
+  /// LaneDemand views handed to the resolver.
+  std::vector<DeviceDemand> lane_dem_;
+  std::vector<LaneDemand> lanes_;
   Telemetry* telemetry_ = nullptr;
+  ResolveCache* resolve_cache_ = nullptr;
   std::size_t last_phase_span_ = Tracer::kNone;
   MetricId phase_hist_;       ///< phase.duration_s histogram
   MetricId read_bytes_ctr_;   ///< app.read_bytes counter

@@ -20,15 +20,14 @@ bool is_random(PatClass c) {
 
 /// Unthrottled time to service the read demand on one device.
 double read_time(const DeviceDemand& dem, const DeviceParams& dev,
-                 const Phase& phase) {
+                 double threads, double mlp) {
   double t = 0.0;
   for (const PatClass c : kClasses) {
     const auto bytes = dem.read[static_cast<std::size_t>(c)];
     if (bytes == 0) continue;
-    double cap = dev.read_capacity(c, phase.threads);
+    double cap = dev.read_capacity(c, threads);
     if (is_random(c)) {
-      cap = std::min(cap,
-                     dev.latency_limited_read_bw(phase.threads, phase.mlp));
+      cap = std::min(cap, dev.latency_limited_read_bw(threads, mlp));
     }
     NVMS_ASSERT(cap > 0.0, "zero read capacity");
     t += static_cast<double>(bytes) / cap;
@@ -40,19 +39,19 @@ double read_time(const DeviceDemand& dem, const DeviceParams& dev,
 /// for WPQ utilization.
 std::pair<double, double> write_time_and_drain(const DeviceDemand& dem,
                                                const DeviceParams& dev,
-                                               const Phase& phase) {
+                                               double threads) {
   double t = 0.0;
   for (const PatClass c : kClasses) {
     const auto bytes = dem.write[static_cast<std::size_t>(c)];
     if (bytes == 0) continue;
-    const double cap = dev.write_capacity(c, phase.threads);
+    const double cap = dev.write_capacity(c, threads);
     NVMS_ASSERT(cap > 0.0, "zero write capacity");
     t += static_cast<double>(bytes) / cap;
   }
   const auto total = dem.write_total();
-  const double drain = (t > 0.0) ? static_cast<double>(total) / t
-                                 : dev.write_capacity(PatClass::kSeq,
-                                                      phase.threads);
+  const double drain = (t > 0.0)
+                           ? static_cast<double>(total) / t
+                           : dev.write_capacity(PatClass::kSeq, threads);
   return {t, drain};
 }
 
@@ -76,6 +75,13 @@ MultiResolution resolve_lanes(const Phase& phase,
   res.compute_time =
       cpu.compute_time(phase.flops, phase.threads, phase.parallel_fraction);
 
+  // Memory concurrency clamps to the physical hardware-thread count:
+  // logical oversubscription adds no memory parallelism.  account_counters
+  // bills the same clamped count, so timing and counters agree at the
+  // boundary (the compute model applies the identical clamp internally).
+  const double threads_eff =
+      static_cast<double>(std::min(phase.threads, cpu.max_threads()));
+
   struct DevState {
     const DeviceDemand* dem;
     const DeviceParams* dev;
@@ -90,8 +96,9 @@ MultiResolution resolve_lanes(const Phase& phase,
   for (const auto& lane : lanes) {
     NVMS_ASSERT(lane.dev != nullptr, "lane without a device");
     DevState d{&lane.dem, lane.dev};
-    d.rt = read_time(*d.dem, *d.dev, phase);
-    std::tie(d.wt, d.drain) = write_time_and_drain(*d.dem, *d.dev, phase);
+    d.rt = read_time(*d.dem, *d.dev, threads_eff, phase.mlp);
+    std::tie(d.wt, d.drain) =
+        write_time_and_drain(*d.dem, *d.dev, threads_eff);
     ds.push_back(d);
   }
   const double upi_time = upi_bytes > 0.0 ? upi_bytes / upi_bw : 0.0;

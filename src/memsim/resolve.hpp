@@ -86,6 +86,14 @@ struct MultiResolution {
 /// is set, each active lane emits one post-convergence epoch sample of its
 /// WPQ utilization ("wpq.util") and applied read-throttle multiplier
 /// ("throttle.read") stamped at virtual time `epoch_t`.
+///
+/// Concurrency above cpu.max_threads() is clamped for the memory model
+/// (oversubscription adds no memory parallelism); the counter model in
+/// MemorySystem::account_counters bills the identical clamped count, so
+/// the two never disagree at the boundary.  The result is a pure function
+/// of (per-lane demands, the lane devices, the phase timing fields minus
+/// name/streams, the CPU model, the UPI constraint) — the property the
+/// ResolveCache memoization layer (memsim/resolve_cache.hpp) relies on.
 MultiResolution resolve_lanes(const Phase& phase,
                               const std::vector<LaneDemand>& lanes,
                               const CpuParams& cpu, double upi_bytes = 0.0,

@@ -25,6 +25,11 @@ class ScalingCurve {
   /// Thread count with the maximum fraction (the curve's sweet spot).
   double argmax() const;
 
+  /// The defining (threads, fraction) points (resolve-cache key hashing).
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
  private:
   std::vector<std::pair<double, double>> points_;
 };

@@ -134,6 +134,64 @@ TEST(DramCache, SetSamplingKicksInForHugeCaches) {
               static_cast<double>(touches), 0.1 * static_cast<double>(touches));
 }
 
+TEST(DramCache, SamplingDividesSets) {
+  // The sampling stride must divide the set count (the snap/clamp math in
+  // access() depends on it); the ctor stops doubling rather than break it,
+  // even if that leaves more simulated sets than max_sets asked for.
+  CacheParams p;
+  p.line = 64;
+  p.capacity = 24 * 64;  // 24 sets: 2^3 * 3
+  p.max_sets = 2;
+  DramCache c(p);
+  EXPECT_EQ(c.sets(), 24u);
+  EXPECT_EQ(c.sets() % c.sample_mod(), 0u);
+  EXPECT_EQ(c.sample_mod(), 8u);  // 16 would not divide 24
+}
+
+TEST(DramCache, StridedWalkOffPhaseWithSamplingStillSimulates) {
+  // Regression: a strided walk whose stride shares a factor with the
+  // sampling stride, launched from an off-phase base set, skipped every
+  // sampled set — the walk simulated zero lines and the stream's traffic
+  // vanished from the model entirely (phases over such buffers became
+  // free).  The walk must fall back to snapped lines instead.
+  CacheParams p;
+  p.line = 64;
+  p.capacity = 64 * KiB;  // 1024 sets
+  p.max_sets = 512;
+  DramCache c(p);
+  ASSERT_EQ(c.sample_mod(), 2u);
+  // Buffer of 512 lines based at an odd line; a half pass (256 distinct
+  // touches) walks stride 2, so every touched line stays odd: off-phase
+  // with the even sampled sets.
+  const std::uint64_t base = 64;  // base_line = 1
+  const StreamDesc rd = seq_read(0, 16 * KiB);  // 256 line touches
+  const auto out = c.access(rd, base, 32 * KiB);
+  EXPECT_GT(out.hits + out.misses, 0u);
+  EXPECT_GT(out.nvm_read, 0u);  // cold misses fetch from the media
+}
+
+TEST(DramCache, RandomSnapStaysInsideBuffer) {
+  // Regression: the random path snapped lines *down* to a sampled set,
+  // which could cross the buffer's base line — a read over one buffer
+  // then touched (and evicted) another buffer's cached lines.
+  CacheParams p;
+  p.line = 64;
+  p.capacity = 64 * 64;  // 64 sets
+  p.max_sets = 8;
+  DramCache c(p);
+  ASSERT_EQ(c.sample_mod(), 8u);
+  // Buffer A: lines [0, 30), written — sampled sets 0/8/16/24 are dirty.
+  (void)c.access(seq_write(0, 30 * 64), 0, 30 * 64);
+  // Buffer B: lines [94, 106), i.e. sets 30..41 one wrap later; its
+  // sampled in-buffer lines are 96 and 104 (sets 32 and 40), both cold.
+  // The unclamped snap sent lines 94/95 down to line 88 = set 24,
+  // colliding with A's dirty line there: a *read* of B emitted phantom
+  // write-back traffic for A's data.
+  const auto out = c.access(rand_read(1, 64 * KiB), 94 * 64, 12 * 64);
+  EXPECT_GT(out.misses, 0u);
+  EXPECT_EQ(out.nvm_write, 0u);  // no write-backs of A's lines
+}
+
 TEST(DramCache, ZeroByteStreamIsNoop) {
   DramCache c(small_cache());
   StreamDesc s = seq_read(0, 0);

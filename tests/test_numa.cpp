@@ -139,6 +139,34 @@ TEST(Numa, AppLevelRemoteIsAlwaysSlowest) {
   EXPECT_GT(time[1], 0.4 * time[0]);
 }
 
+TEST(Numa, RemoteWritePressureReachesReportedWpq) {
+  // Regression: submit() aggregated only read_bw/write_bw across sockets;
+  // wpq_util and throttle were copied from the local lanes alone, so a
+  // remote-placed write-heavy phase reported an idle WPQ (0.0) and an
+  // unthrottled read multiplier (1.0) while the remote NVM was saturated.
+  // The report must carry the worst pressure across sockets: max
+  // utilization, min (most throttled) multiplier.
+  MemorySystem sys(two_sockets(Mode::kUncachedNvm,
+                               NumaPolicy::kRemoteSocket));
+  const auto id = sys.register_buffer("b", 8 * MiB);
+  const auto res = sys.submit(PhaseBuilder("w")
+                                  .threads(24)
+                                  .stream(seq_write(id, 4 * GiB))
+                                  .build());
+  EXPECT_GT(res.nvm.wpq_util, 0.1);
+  EXPECT_LT(res.nvm.throttle, 1.0);
+  // And it is the same pressure a local placement of the same phase sees
+  // (the remote lane is derated, so at least as much).
+  MemorySystem local(two_sockets(Mode::kUncachedNvm,
+                                 NumaPolicy::kLocalSocket));
+  const auto lid = local.register_buffer("b", 8 * MiB);
+  const auto lres = local.submit(PhaseBuilder("w")
+                                     .threads(24)
+                                     .stream(seq_write(lid, 4 * GiB))
+                                     .build());
+  EXPECT_GE(res.nvm.wpq_util, 0.9 * lres.nvm.wpq_util);
+}
+
 TEST(Numa, SingleSocketBehaviourUnchanged) {
   // The default configuration must be bit-identical to the pre-topology
   // model: this pins the calibration.
