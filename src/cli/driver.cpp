@@ -16,6 +16,7 @@
 #include "harness/report.hpp"
 #include "mem/space.hpp"
 #include "obs/export.hpp"
+#include "placement/trace_optimizer.hpp"
 #include "placement/write_aware.hpp"
 #include "prof/data_profile.hpp"
 #include "replay/recording.hpp"
@@ -72,6 +73,14 @@ commands:
       --mode M              (default uncached-nvm)
       --nvm-write-bw GBS    override the NVM write peak (what-if)
       --nvm-read-bw GBS     override the NVM read peak (what-if)
+  optimize <app|FILE>       trace-driven placement plan (delta-replay CELF)
+      --budget B            DRAM budget: percent ("35%") or bytes with an
+                            optional KiB/MiB/GiB suffix   (default 35%)
+      --mode M              (default uncached-nvm)
+      --threads N --scale S --iters K   recording options (app form)
+      --jobs N              parallel candidate evaluation workers
+                            (plan and tables are identical for any N)
+      --min-gain G          stop below this relative gain (default 1e-3)
 )";
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -582,6 +591,136 @@ int cmd_replay(const Options& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Parse --budget: "35%" (of the testbed's per-socket DRAM), a plain byte
+// count, or a byte count with a KiB/MiB/GiB suffix.
+std::optional<std::uint64_t> parse_budget(const std::string& s,
+                                          std::uint64_t dram_capacity,
+                                          std::ostream& err) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  const std::string suffix = s.substr(pos);
+  if (pos == 0 || value < 0.0) {
+    err << "optimize: bad --budget '" << s << "'\n";
+    return std::nullopt;
+  }
+  if (suffix == "%") {
+    if (value <= 0.0 || value > 100.0) {
+      err << "optimize: --budget percent must be in (0,100]\n";
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(dram_capacity) *
+                                      value / 100.0);
+  }
+  double mult = 1.0;
+  if (suffix == "KiB") {
+    mult = static_cast<double>(KiB);
+  } else if (suffix == "MiB") {
+    mult = static_cast<double>(MiB);
+  } else if (suffix == "GiB") {
+    mult = static_cast<double>(GiB);
+  } else if (!suffix.empty()) {
+    err << "optimize: bad --budget suffix '" << suffix
+        << "' (want %, KiB, MiB or GiB)\n";
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value * mult);
+}
+
+bool is_registered_app(const std::string& name) {
+  for (const auto& a : app_names())
+    if (a == name) return true;
+  for (const auto& a : extra_app_names())
+    if (a == name) return true;
+  return false;
+}
+
+int cmd_optimize(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "optimize: missing application name or trace file\n";
+    return 2;
+  }
+  const std::string target = opt.positional()[0];
+  const auto mode = parse_mode(opt.get("mode", "uncached-nvm"));
+  if (!mode) {
+    err << "optimize: unknown mode\n";
+    return 2;
+  }
+  const SystemConfig sys_cfg = SystemConfig::testbed(*mode);
+
+  // The target is either a saved `nvmstrace v1` recording or the name of
+  // a registered application (recorded here under the same system mode).
+  PhaseRecording rec;
+  std::ifstream f(target);
+  if (f) {
+    std::stringstream buf;
+    buf << f.rdbuf();
+    rec = PhaseRecording::load(buf.str());
+  } else if (is_registered_app(target)) {
+    const AppConfig cfg = config_from(opt);
+    MemorySystem sys(sys_cfg);
+    TraceCapture capture(sys);
+    AppContext ctx(sys, cfg);
+    (void)lookup_app(target).run(ctx);
+    rec = capture.finish();
+  } else {
+    err << "optimize: '" << target
+        << "' is neither a readable trace file nor a registered "
+           "application\n";
+    return 2;
+  }
+
+  const auto budget =
+      parse_budget(opt.get("budget", "35%"), sys_cfg.dram.capacity, err);
+  if (!budget) return 2;
+
+  TraceOptimizerOptions oopt;
+  oopt.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
+  oopt.min_gain = opt.get_double("min-gain", 1e-3);
+  const auto r = optimize_placement(
+      rec, *budget, [&sys_cfg] { return MemorySystem(sys_cfg); }, oopt);
+
+  TextTable t({"metric", "value"});
+  t.add_row({"phases", std::to_string(rec.phases.size())});
+  t.add_row({"buffers", std::to_string(rec.buffers.size())});
+  t.add_row({"mode", to_string(*mode)});
+  t.add_row({"DRAM budget", format_bytes(*budget)});
+  t.add_row({"DRAM used", format_bytes(r.dram_bytes)});
+  t.add_row({"baseline runtime", format_time(r.baseline_runtime)});
+  t.add_row({"optimized runtime", format_time(r.optimized_runtime)});
+  t.add_row({"speedup", TextTable::num(r.speedup(), 2) + "x"});
+  out << t.render();
+
+  if (r.steps.empty()) {
+    out << "\nno promotion improves the replayed runtime under this "
+           "budget\n";
+  } else {
+    TextTable s({"step", "buffer -> DRAM", "runtime", "gain"});
+    double prev = r.baseline_runtime;
+    for (std::size_t i = 0; i < r.steps.size(); ++i) {
+      const auto& [name, runtime] = r.steps[i];
+      s.add_row({std::to_string(i + 1), name, format_time(runtime),
+                 TextTable::num(100.0 * (prev - runtime) / prev, 1) + "%"});
+      prev = runtime;
+    }
+    out << "\n" << s.render();
+  }
+
+  // Evaluator accounting goes to stderr: the memo hit/miss split can vary
+  // across worker counts, while stdout must stay byte-identical.
+  err << "optimize: " << r.stats.evals << " candidate evaluation(s), "
+      << r.stats.full_replays << " full replay(s)\n";
+  report_cache_line("phase-cache", r.stats.phase_cache, err);
+  if (r.stats.stream_memo.hits + r.stats.stream_memo.misses > 0) {
+    report_cache_line("stream-memo", r.stats.stream_memo, err);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
@@ -609,6 +748,8 @@ int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
       rc = cmd_record(opt, out, err);
     } else if (cmd == "replay") {
       rc = cmd_replay(opt, out, err);
+    } else if (cmd == "optimize") {
+      rc = cmd_optimize(opt, out, err);
     } else if (cmd == "help" || cmd == "--help") {
       out << kUsage;
       rc = 0;

@@ -331,7 +331,15 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
   double upi_bytes = 0.0;
   for (const auto& s : phase.streams) route_stream(s, lane_dem, upi_bytes);
 
-  for (std::size_t i = 0; i < lanes_.size(); ++i) lanes_[i].dem = lane_dem[i];
+  // Refresh the whole lane view, including the device pointers: they
+  // reference our own *_effective_/*_remote_ members, so re-deriving them
+  // here keeps submit() correct even if the system was moved (e.g. a
+  // factory returning MemorySystem by value through a std::function).
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i].dem = lane_dem[i];
+    lanes_[i].dev = &lane_device(i);
+    lanes_[i].label = kLaneLabels[i];
+  }
   if (config_.sockets != 2) {
     NVMS_ASSERT(lane_dem[2].read_total() + lane_dem[2].write_total() +
                         lane_dem[3].read_total() +
@@ -463,6 +471,21 @@ void MemorySystem::account_counters(const Phase& phase, double time,
   counters_.offcore_wait += 0.9 * mem_fraction * cycles * read_share;
   counters_.imc_reads += read_bytes / 64.0;
   counters_.imc_writes += write_bytes / 64.0;
+}
+
+const DeviceParams& MemorySystem::lane_device(std::size_t lane) const {
+  switch (lane) {
+    case 0:
+      return dram_effective_;
+    case 1:
+      return nvm_effective_;
+    case 2:
+      return dram_remote_;
+    case 3:
+      return nvm_remote_;
+    default:
+      throw ConfigError("lane_device: lane out of range");
+  }
 }
 
 const BufferTraffic& MemorySystem::traffic(BufferId id) const {

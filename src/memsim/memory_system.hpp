@@ -140,6 +140,14 @@ class MemorySystem {
     observer_ = std::move(observer);
   }
 
+  /// Effective device parameters of one lane (socket*2 + (dram ? 0 : 1))
+  /// after the construction-time mode/NUMA derates — exactly the
+  /// DeviceParams resolve_lanes() sees for that lane.  Lanes 2/3 are the
+  /// remote socket's devices.  The delta-replay placement evaluator
+  /// (placement/replay_evaluator.hpp) copies these to re-resolve phases
+  /// bit-identically without driving a full system.
+  const DeviceParams& lane_device(std::size_t lane) const;
+
   double now() const { return clock_; }
   const RunTraces& traces() const { return traces_; }
   const HwCounters& counters() const { return counters_; }

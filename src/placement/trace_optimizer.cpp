@@ -1,0 +1,177 @@
+#include "placement/trace_optimizer.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "simcore/error.hpp"
+#include "simcore/thread_pool.hpp"
+
+namespace nvms {
+
+namespace {
+
+/// One heap entry: a candidate promotion with the gain measured when it
+/// was last scored.  `round` tags which committed plan the score is
+/// against; entries from earlier rounds are stale (their gain is an upper
+/// bound on the fresh gain whenever promotions have diminishing returns).
+struct Candidate {
+  std::size_t buf = 0;
+  double gain = 0.0;
+  int round = -1;
+};
+
+/// Max-heap order: larger gain first; equal gains resolved by
+/// lexicographically smaller buffer name (the documented tie-break).
+struct CandidateOrder {
+  const std::vector<RecordedBuffer>* buffers;
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return (*buffers)[a.buf].name > (*buffers)[b.buf].name;
+  }
+};
+
+}  // namespace
+
+TraceOptimizerResult optimize_placement(
+    const PhaseRecording& recording, std::uint64_t dram_budget,
+    std::function<MemorySystem()> make_system,
+    const TraceOptimizerOptions& options) {
+  ReplayEvaluator evaluator(recording, std::move(make_system));
+
+  TraceOptimizerResult result;
+  result.baseline_runtime = evaluator.baseline();
+  result.optimized_runtime = result.baseline_runtime;
+
+  const std::size_t refresh_batch = std::max<std::size_t>(1, options.refresh_batch);
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder> heap(
+      CandidateOrder{&recording.buffers});
+  // Seed every buffer as stale with an infinite gain bound: the CELF loop
+  // below scores them lazily, so round 0 reproduces the exhaustive
+  // first-round scan and later rounds only re-score heap tops.
+  for (std::size_t i = 0; i < recording.buffers.size(); ++i) {
+    heap.push(Candidate{i, std::numeric_limits<double>::infinity(), -1});
+  }
+
+  int round = 0;
+  std::vector<Candidate> batch;
+  std::vector<double> runtimes;
+  while (!heap.empty()) {
+    if (heap.top().round == round) {
+      // Fresh top: its gain is exact against the committed plan, and every
+      // other entry scores below it (stale entries by their upper bound),
+      // so it is the round's argmax — commit or stop, exactly as the
+      // exhaustive greedy would.
+      const Candidate best = heap.top();
+      const double gain = best.gain;
+      const double rel_gain = result.optimized_runtime > 0.0
+                                  ? gain / result.optimized_runtime
+                                  : 0.0;
+      if (!(gain > 0.0) || rel_gain < options.min_gain) break;
+      heap.pop();
+      const RecordedBuffer& buf = recording.buffers[best.buf];
+      evaluator.commit_flip(best.buf, Placement::kDram);
+      result.plan.set(buf.name, Placement::kDram);
+      result.dram_bytes += buf.bytes;
+      result.optimized_runtime = evaluator.current_runtime();
+      result.steps.emplace_back(buf.name, result.optimized_runtime);
+      ++round;  // every remaining entry is now stale
+      continue;
+    }
+
+    // Refresh wave: pop up to refresh_batch stale candidates and re-score
+    // them in parallel.  The batch is chosen by heap order alone (scores
+    // are pure), so the evaluated set — and with it result.stats.evals —
+    // is identical for any worker count.
+    batch.clear();
+    while (!heap.empty() && heap.top().round != round &&
+           batch.size() < refresh_batch) {
+      const Candidate c = heap.top();
+      heap.pop();
+      // Promotions only grow DRAM usage, so a candidate that busts the
+      // budget now busts it in every later round: drop it permanently.
+      if (result.dram_bytes + recording.buffers[c.buf].bytes > dram_budget) {
+        continue;
+      }
+      batch.push_back(c);
+    }
+    if (batch.empty()) continue;
+    runtimes.assign(batch.size(), -1.0);
+    parallel_for_index(
+        batch.size(),
+        [&](std::size_t k) {
+          try {
+            runtimes[k] =
+                evaluator.evaluate_flip(batch[k].buf, Placement::kDram);
+          } catch (const CapacityError&) {
+            // Does not fit the configuration's DRAM; promotions only
+            // shrink the remaining headroom, so drop permanently.
+            runtimes[k] = -1.0;
+          }
+        },
+        options.jobs);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (runtimes[k] < 0.0) continue;
+      heap.push(Candidate{batch[k].buf,
+                          result.optimized_runtime - runtimes[k], round});
+    }
+  }
+
+  result.stats = evaluator.stats();
+  if (options.telemetry != nullptr) evaluator.publish(*options.telemetry);
+  return result;
+}
+
+TraceOptimizerResult optimize_placement_full_replay(
+    const PhaseRecording& recording, std::uint64_t dram_budget,
+    std::function<MemorySystem()> make_system, double min_gain) {
+  TraceOptimizerResult result;
+  {
+    MemorySystem sys = make_system();
+    result.baseline_runtime = recording.replay(sys);
+  }
+  result.optimized_runtime = result.baseline_runtime;
+  result.stats.full_replays = 1;
+
+  std::vector<bool> promoted(recording.buffers.size(), false);
+  while (true) {
+    int best = -1;
+    double best_runtime = result.optimized_runtime;
+    for (std::size_t i = 0; i < recording.buffers.size(); ++i) {
+      const RecordedBuffer& buf = recording.buffers[i];
+      if (promoted[i]) continue;
+      if (result.dram_bytes + buf.bytes > dram_budget) continue;
+      PlacementPlan candidate = result.plan;
+      candidate.set(buf.name, Placement::kDram);
+      MemorySystem sys = make_system();
+      double runtime = 0.0;
+      try {
+        ++result.stats.evals;
+        ++result.stats.full_replays;
+        runtime = recording.replay(sys, &candidate);
+      } catch (const CapacityError&) {
+        continue;  // does not fit this configuration's DRAM
+      }
+      // Strictly better wins; an exact runtime tie goes to the
+      // lexicographically smaller name (see the header's tie-break note).
+      if (runtime < best_runtime ||
+          (best >= 0 && runtime == best_runtime &&
+           buf.name < recording.buffers[static_cast<std::size_t>(best)].name)) {
+        best_runtime = runtime;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    const double gain =
+        (result.optimized_runtime - best_runtime) / result.optimized_runtime;
+    if (gain < min_gain) break;
+    const RecordedBuffer& buf = recording.buffers[static_cast<std::size_t>(best)];
+    promoted[static_cast<std::size_t>(best)] = true;
+    result.plan.set(buf.name, Placement::kDram);
+    result.dram_bytes += buf.bytes;
+    result.optimized_runtime = best_runtime;
+    result.steps.emplace_back(buf.name, best_runtime);
+  }
+  return result;
+}
+
+}  // namespace nvms

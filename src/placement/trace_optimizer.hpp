@@ -2,23 +2,55 @@
 //
 // The write-aware heuristic (Sec. V-B) ranks buffers by profiled write
 // intensity.  With a recorded phase trace in hand we can do better:
-// *evaluate* candidate placements exactly by replaying the trace — each
-// candidate costs microseconds — and greedily promote whichever buffer
-// yields the largest measured runtime improvement per DRAM byte, until
-// the budget is exhausted or no promotion helps.  This subsumes the
-// heuristic (it also discovers buffers whose *reads* are the bottleneck,
-// like ScaLAPACK's C tiles) and is the natural extension of the paper's
+// *evaluate* candidate placements exactly and greedily promote whichever
+// buffer yields the largest measured runtime improvement, until the
+// budget is exhausted or no promotion helps.  This subsumes the heuristic
+// (it also discovers buffers whose *reads* are the bottleneck, like
+// ScaLAPACK's C tiles) and is the natural extension of the paper's
 // optimization direction.
+//
+// optimize_placement() runs the greedy selection on the delta-replay
+// engine (placement/replay_evaluator.hpp) with CELF lazy re-evaluation
+// and parallel candidate scoring; its plans and runtimes are bit-identical
+// to optimize_placement_full_replay(), the direct exhaustive-greedy
+// reference that replays the whole trace per candidate (kept as the
+// oracle the fast path is tested and benchmarked against).
+//
+// Tie-breaking: when two candidate promotions yield the *same* replayed
+// runtime, both selectors promote the lexicographically smaller buffer
+// name.  Buffer names are unique per recording (enforced on load), so the
+// result never depends on recording order or evaluation interleaving —
+// plans are byte-identical across repeats and worker counts.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/placement_plan.hpp"
+#include "obs/metrics.hpp"
+#include "placement/replay_evaluator.hpp"
 #include "replay/recording.hpp"
 
 namespace nvms {
+
+struct TraceOptimizerOptions {
+  /// Stop when the best promotion's relative gain falls below this (a
+  /// strict runtime improvement is always required on top).
+  double min_gain = 1e-3;
+  /// Worker threads for candidate evaluation; 0 = ThreadPool default,
+  /// 1 = serial.  Results are identical for any value.
+  int jobs = 0;
+  /// Stale candidates re-evaluated per refresh wave.  A fixed batch keeps
+  /// the evaluation *set* independent of worker timing (determinism);
+  /// larger batches trade lazy-evaluation savings for parallelism.
+  std::size_t refresh_batch = 8;
+  /// When set, the evaluator's statistics are published here as gauges
+  /// (placement.evals, placement.phase_cache.*).
+  MetricsRegistry* telemetry = nullptr;
+};
 
 struct TraceOptimizerResult {
   PlacementPlan plan;
@@ -27,6 +59,8 @@ struct TraceOptimizerResult {
   double optimized_runtime = 0.0;  ///< with the returned plan
   /// Promotion order with the runtime after each step.
   std::vector<std::pair<std::string, double>> steps;
+  /// Evaluation accounting (candidate evaluations, cache hit rates).
+  ReplayEvalStats stats;
 
   double speedup() const {
     return optimized_runtime > 0.0 ? baseline_runtime / optimized_runtime
@@ -35,56 +69,23 @@ struct TraceOptimizerResult {
 };
 
 /// Greedy forward selection over the recorded buffers under `dram_budget`
-/// bytes.  `make_system` must produce a fresh MemorySystem for each
-/// evaluation (same configuration every time); the recording is replayed
-/// against it with candidate plans.  Stops when no candidate improves the
-/// runtime by at least `min_gain` (relative).
-template <typename SystemFactory>
-TraceOptimizerResult optimize_placement(const PhaseRecording& recording,
-                                        std::uint64_t dram_budget,
-                                        SystemFactory&& make_system,
-                                        double min_gain = 1e-3) {
-  TraceOptimizerResult result;
-  {
-    auto sys = make_system();
-    result.baseline_runtime = recording.replay(sys);
-  }
-  result.optimized_runtime = result.baseline_runtime;
+/// bytes, on the delta-replay evaluator: per-phase resolution memoized,
+/// CELF lazy re-evaluation (stale gains are upper bounds, so a candidate
+/// is only re-scored while it tops the heap), candidates scored in
+/// parallel.  `make_system` must produce a fresh, identically-configured
+/// MemorySystem on every call.  Stops when no candidate strictly improves
+/// the runtime by at least `options.min_gain` (relative).
+TraceOptimizerResult optimize_placement(
+    const PhaseRecording& recording, std::uint64_t dram_budget,
+    std::function<MemorySystem()> make_system,
+    const TraceOptimizerOptions& options = {});
 
-  std::vector<bool> promoted(recording.buffers.size(), false);
-  while (true) {
-    int best = -1;
-    double best_runtime = result.optimized_runtime;
-    for (std::size_t i = 0; i < recording.buffers.size(); ++i) {
-      const auto& buf = recording.buffers[i];
-      if (promoted[i]) continue;
-      if (result.dram_bytes + buf.bytes > dram_budget) continue;
-      PlacementPlan candidate = result.plan;
-      candidate.set(buf.name, Placement::kDram);
-      auto sys = make_system();
-      double runtime;
-      try {
-        runtime = recording.replay(sys, &candidate);
-      } catch (const CapacityError&) {
-        continue;  // does not fit this configuration's DRAM
-      }
-      if (runtime < best_runtime) {
-        best_runtime = runtime;
-        best = static_cast<int>(i);
-      }
-    }
-    if (best < 0) break;
-    const double gain =
-        (result.optimized_runtime - best_runtime) / result.optimized_runtime;
-    if (gain < min_gain) break;
-    const auto& buf = recording.buffers[static_cast<std::size_t>(best)];
-    promoted[static_cast<std::size_t>(best)] = true;
-    result.plan.set(buf.name, Placement::kDram);
-    result.dram_bytes += buf.bytes;
-    result.optimized_runtime = best_runtime;
-    result.steps.emplace_back(buf.name, best_runtime);
-  }
-  return result;
-}
+/// The reference selector: exhaustive greedy, every candidate scored by a
+/// full trace replay on a fresh system each round.  Same plans, same
+/// runtimes, same tie-breaking as optimize_placement() — kept as the
+/// oracle for parity tests and the speedup baseline in benchmarks.
+TraceOptimizerResult optimize_placement_full_replay(
+    const PhaseRecording& recording, std::uint64_t dram_budget,
+    std::function<MemorySystem()> make_system, double min_gain = 1e-3);
 
 }  // namespace nvms

@@ -1,5 +1,6 @@
 #include "replay/recording.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -42,6 +43,18 @@ void check_name(const std::string& name) {
 }
 
 }  // namespace
+
+std::vector<std::vector<BufferId>> PhaseRecording::phase_buffers() const {
+  std::vector<std::vector<BufferId>> out(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    auto& ids = out[i];
+    ids.reserve(phases[i].streams.size());
+    for (const auto& s : phases[i].streams) ids.push_back(s.buffer);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return out;
+}
 
 std::uint64_t PhaseRecording::total_bytes() const {
   std::uint64_t total = 0;
@@ -91,6 +104,12 @@ PhaseRecording PhaseRecording::load(const std::string& text) {
       require(static_cast<bool>(in >> b.name >> b.bytes >> placement),
               "trace: truncated buffer line");
       b.placement = parse_placement(placement);
+      // Placement plans address buffers by name, so a recording with two
+      // equally-named buffers would silently alias them — reject it.
+      for (const auto& existing : rec.buffers) {
+        require(existing.name != b.name,
+                "trace: duplicate buffer name '" + b.name + "'");
+      }
       rec.buffers.push_back(std::move(b));
     } else if (tok == "phase") {
       require(pending_streams == 0, "trace: phase while streams pending");

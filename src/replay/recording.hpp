@@ -32,6 +32,14 @@ class PhaseRecording {
   bool empty() const { return phases.empty(); }
   std::uint64_t total_bytes() const;
 
+  /// The distinct buffers each phase's streams touch, sorted and
+  /// deduplicated: phase_buffers()[p] lists the recording indices phase p
+  /// references.  This is the phase-set index the delta-replay placement
+  /// evaluator keys on: in the modes without cross-phase state a plan
+  /// that flips one buffer can only change the resolution of the phases
+  /// listed against it.
+  std::vector<std::vector<BufferId>> phase_buffers() const;
+
   /// Serialize to the line-based `nvmstrace v1` text format.
   /// Buffer and phase names must not contain whitespace.
   std::string save() const;

@@ -168,6 +168,63 @@ TEST(Replay, LoadRejectsMalformedInput) {
                ConfigError);
 }
 
+void expect_load_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)PhaseRecording::load(text);
+    FAIL() << "load accepted malformed input: " << text;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what() << "\nwanted substring: " << needle;
+  }
+}
+
+TEST(Replay, LoadReportsWhatIsMalformed) {
+  // Each rejection names the defect — the trace format is hand-editable
+  // (and CLI-loadable), so the diagnostics matter.
+  expect_load_error("", "bad header");
+  expect_load_error("nvmstrace v2\n", "bad header");
+  expect_load_error("nvmstrace v1\nbuffer b 100\n", "truncated buffer line");
+  expect_load_error("nvmstrace v1\nphase p 4 0 1\n", "truncated phase line");
+  expect_load_error(
+      "nvmstrace v1\nbuffer b 100 auto\nphase p 4 0 1 8 1 1\n"
+      "stream 0 100 seq read 64 1\n",
+      "truncated stream line");
+  expect_load_error(
+      "nvmstrace v1\nbuffer b 100 auto\nphase p 4 0 1 8 1 1\n"
+      "stream 0 100 diag read 64 1 2097152\n",
+      "unknown pattern 'diag'");
+  expect_load_error("nvmstrace v1\nbuffer b 100 sideways\n",
+                    "unknown placement 'sideways'");
+  expect_load_error(
+      "nvmstrace v1\nbuffer b 100 auto\nphase p 4 0 1 8 1 1\n"
+      "stream 0 100 seq readwrite 64 1 2097152\n",
+      "unknown direction 'readwrite'");
+  expect_load_error(
+      "nvmstrace v1\nbuffer b 100 auto\nbuffer b 200 dram\n",
+      "duplicate buffer name 'b'");
+  expect_load_error(
+      "nvmstrace v1\nphase p 4 0 1 8 1 1\nbuffer b 100 auto\n",
+      "buffer inside phase");
+  expect_load_error(
+      "nvmstrace v1\nphase p 4 0 1 8 1 1\nphase q 4 0 1 8 1 1\n",
+      "phase while streams pending");
+}
+
+TEST(Replay, SaveRejectsNamesWithWhitespace) {
+  // Names are single tokens in the line format; a space would silently
+  // shift every following field on reload.
+  PhaseRecording rec;
+  rec.buffers.push_back({"bad name", 100, Placement::kAuto});
+  EXPECT_THROW((void)rec.save(), ConfigError);
+
+  PhaseRecording rec2;
+  rec2.buffers.push_back({"ok", 100, Placement::kAuto});
+  Phase p;
+  p.name = "phase\tname";
+  rec2.phases.push_back(p);
+  EXPECT_THROW((void)rec2.save(), ConfigError);
+}
+
 TEST(Replay, ReplayRequiresFreshSystem) {
   AppConfig cfg;
   cfg.threads = 12;
