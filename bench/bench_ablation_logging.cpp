@@ -24,6 +24,7 @@ using namespace nvms;
 
 namespace {
 
+// NVMS_LINT(allow: DET-002, bench self-times telemetry overhead on the host clock)
 using Clock = std::chrono::steady_clock;
 
 constexpr const char* kApp = "hypre";  // deep phase stream: many submits

@@ -50,8 +50,10 @@ struct BenchRow {
 double best_wall_ms(int reps, const std::function<void()>& fn) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
+    // NVMS_LINT(allow: DET-002, bench measures its own wall-clock speedup)
     const auto t0 = std::chrono::steady_clock::now();
     fn();
+    // NVMS_LINT(allow: DET-002, second stamp of the same measurement)
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -58,6 +58,7 @@ commands:
       --stats FILE          write per-task executor timings as CSV
       --trace-out FILE      merged Chrome trace over the whole grid
       --metrics-out FILE    merged per-epoch metrics CSV over the grid
+      --jsonl FILE          merged JSONL telemetry over the grid
       --resolve-cache[=off|run|shared]   memoize phase resolutions
                             (shared: one cache for the grid; rows and
                             exports are byte-identical either way)
@@ -338,7 +339,9 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   spec.resolve_cache = *cache_mode;
   const std::string trace_out = opt.get("trace-out", "");
   const std::string metrics_out = opt.get("metrics-out", "");
-  spec.telemetry = !trace_out.empty() || !metrics_out.empty();
+  const std::string jsonl_out = opt.get("jsonl", "");
+  spec.telemetry =
+      !trace_out.empty() || !metrics_out.empty() || !jsonl_out.empty();
   const auto result = run_sweep(spec);
   if (spec.resolve_cache != ResolveCacheMode::kOff) {
     report_cache_stats(result.cache_stats, result.stream_stats, err);
@@ -350,6 +353,10 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   }
   if (!metrics_out.empty() &&
       !write_file(metrics_out, sweep_metrics_csv(result), err, "sweep")) {
+    return 1;
+  }
+  if (!jsonl_out.empty() &&
+      !write_file(jsonl_out, sweep_telemetry_jsonl(result), err, "sweep")) {
     return 1;
   }
 
@@ -428,7 +435,8 @@ int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
     auto it = index.find(key);
     if (it == index.end()) {
       it = index.emplace(key, agg.size()).first;
-      agg.push_back({s.name, s.category, s.depth, 0, 0.0});
+      agg.push_back(
+          {s.name, s.category, static_cast<std::size_t>(s.depth), 0, 0.0});
     }
     SpanAgg& a = agg[it->second];
     a.count += 1;

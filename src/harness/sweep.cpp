@@ -162,4 +162,8 @@ std::string sweep_metrics_csv(const SweepResult& result) {
   return metrics_csv(result.parts());
 }
 
+std::string sweep_telemetry_jsonl(const SweepResult& result) {
+  return telemetry_jsonl(result.parts());
+}
+
 }  // namespace nvms

@@ -104,4 +104,8 @@ std::string sweep_chrome_trace(const SweepResult& result);
 /// Merged per-epoch metrics CSV over the sweep's telemetry parts.
 std::string sweep_metrics_csv(const SweepResult& result);
 
+/// Merged JSONL telemetry (one span/point object per line) over the
+/// sweep's telemetry parts, in grid order.
+std::string sweep_telemetry_jsonl(const SweepResult& result);
+
 }  // namespace nvms

@@ -32,7 +32,6 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -160,10 +159,10 @@ class ShardedMemo {
     std::lock_guard<std::mutex> lock(s.mu);
     const auto it = s.map.find(key);
     if (it == s.map.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      ++s.misses;
       return false;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++s.hits;
     if (out != nullptr) *out = it->second;
     return true;
   }
@@ -180,7 +179,7 @@ class ShardedMemo {
       s.map.erase(s.ring[s.ring_next]);
       s.ring[s.ring_next] = key;
       s.ring_next = (s.ring_next + 1) % s.ring.size();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ++s.evictions;
     } else {
       s.ring.push_back(key);
     }
@@ -188,13 +187,22 @@ class ShardedMemo {
 
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Snapshot of the cache statistics.  Counters live inside their shard
+  /// and are read under the same mutex that orders the map operations, so
+  /// each shard's contribution is internally consistent: within a shard
+  /// the published gauges always satisfy `entries + evictions <= misses`
+  /// and `hits + misses == lookups`.  (A previous revision kept global
+  /// relaxed atomics next to mutexed maps; a publish() racing a sweep
+  /// could then observe an entry whose miss was not counted yet — stale,
+  /// mutually inconsistent gauges.  Summing per-shard-consistent snapshots
+  /// preserves the invariants, since they are closed under addition.)
   ResolveCacheStats stats() const {
     ResolveCacheStats out;
-    out.hits = hits_.load(std::memory_order_relaxed);
-    out.misses = misses_.load(std::memory_order_relaxed);
-    out.evictions = evictions_.load(std::memory_order_relaxed);
     for (const auto& s : shards_) {
       std::lock_guard<std::mutex> lock(s.mu);
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
       out.entries += s.map.size();
     }
     return out;
@@ -237,6 +245,11 @@ class ShardedMemo {
     /// Insertion ring for eviction order.
     std::vector<ResolveKey> ring;
     std::size_t ring_next = 0;
+    /// Statistics, guarded by `mu` like the map they describe (see
+    /// stats() for why they are not free-standing atomics).
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
 
   Shard& shard_for(const ResolveKey& key) const {
@@ -246,9 +259,6 @@ class ShardedMemo {
 
   mutable std::vector<Shard> shards_;
   std::size_t max_entries_per_shard_ = 1;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// The one cache object plumbed through executor/sweep/CLI: the phase-

@@ -1,0 +1,111 @@
+// Determinism meta-test: the runtime backstop for the nvms-lint DET rules.
+//
+// nvms-lint catches the *sources* of nondeterminism statically (unseeded
+// randomness, wall-clock stamps, unordered iteration feeding exporters).
+// This suite guards the *symptom* end-to-end: a sweep over a representative
+// grid must produce byte-identical CSV rows, per-epoch metric streams and
+// JSONL telemetry whether it runs on 1 worker or 8.  If someone defeats a
+// lint rule (or finds a source the rules do not model), this is the test
+// that goes red.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+
+namespace nvms {
+namespace {
+
+/// argv helper: keeps the strings alive for the call.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    for (auto& s : strings) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> strings;
+  std::vector<char*> ptrs;
+};
+
+int run_cli(std::vector<std::string> args, std::string* out_text = nullptr) {
+  args.insert(args.begin(), "nvmsim");
+  Argv a(std::move(args));
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = cli_main(a.argc(), a.argv(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  return rc;
+}
+
+std::string slurp(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+/// One sweep over the meta-test grid; returns stdout CSV and fills the
+/// metrics/JSONL exports written to `tag`-derived temp paths.
+struct SweepOutputs {
+  std::string csv;
+  std::string metrics;
+  std::string jsonl;
+};
+
+SweepOutputs sweep_grid(const std::string& jobs, const std::string& tag,
+                        bool shared_cache) {
+  const std::string metrics = "/tmp/nvms_meta_metrics_" + tag + ".csv";
+  const std::string jsonl = "/tmp/nvms_meta_telemetry_" + tag + ".jsonl";
+  std::remove(metrics.c_str());
+  std::remove(jsonl.c_str());
+
+  std::vector<std::string> args = {
+      "sweep",     "xsbench",
+      "--threads", "12,24,36",
+      "--modes",   "dram-only,uncached-nvm,cached-nvm",
+      "--jobs",    jobs,
+      "--csv",     "--metrics-out", metrics, "--jsonl", jsonl};
+  if (shared_cache) args.push_back("--resolve-cache=shared");
+
+  SweepOutputs out;
+  EXPECT_EQ(run_cli(args, &out.csv), 0);
+  out.metrics = slurp(metrics);
+  out.jsonl = slurp(jsonl);
+  std::remove(metrics.c_str());
+  std::remove(jsonl.c_str());
+  return out;
+}
+
+TEST(DeterminismMeta, SweepJobs1And8AgreeByteForByte) {
+  const SweepOutputs serial = sweep_grid("1", "j1", /*shared_cache=*/false);
+  const SweepOutputs parallel = sweep_grid("8", "j8", /*shared_cache=*/false);
+
+  ASSERT_FALSE(serial.csv.empty());
+  ASSERT_FALSE(serial.metrics.empty());
+  ASSERT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+}
+
+TEST(DeterminismMeta, SharedResolveCacheDoesNotPerturbExports) {
+  // The shared memo's hit pattern depends on worker interleaving; the
+  // byte-identical-replay invariant says the exports must not.
+  const SweepOutputs baseline = sweep_grid("1", "cb", /*shared_cache=*/false);
+  const SweepOutputs cached = sweep_grid("8", "c8", /*shared_cache=*/true);
+
+  ASSERT_FALSE(baseline.csv.empty());
+  EXPECT_EQ(baseline.csv, cached.csv);
+  EXPECT_EQ(baseline.metrics, cached.metrics);
+  EXPECT_EQ(baseline.jsonl, cached.jsonl);
+}
+
+}  // namespace
+}  // namespace nvms

@@ -1,0 +1,17 @@
+// Fixture: DET-001 negative — seeded generators, mentions in comments and
+// strings, and member functions that merely share a name.
+#include <random>
+#include <string>
+
+// std::random_device is banned (this comment must not trip the rule).
+struct Sampler {
+  explicit Sampler(unsigned seed) : rng(seed) {}
+  double rand_like = 0.0;  // identifier containing "rand" is fine
+  std::mt19937 rng;
+};
+
+double draw(Sampler& s) {
+  const std::string doc = "do not use rand() here";  // string, not a call
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(s.rng) + static_cast<double>(doc.size());
+}

@@ -1,0 +1,10 @@
+// Fixture: DET-001 positive — every flavour of unseeded randomness.
+#include <cstdlib>
+#include <random>
+
+int entropy() {
+  std::random_device rd;           // finding: random_device
+  std::srand(42);                  // finding: srand
+  int x = std::rand();             // finding: rand
+  return static_cast<int>(rd()) + x;
+}

@@ -1,0 +1,16 @@
+// Fixture: DET-002 negative — the virtual clock, a suppressed measurement,
+// and clock-words in comments/strings only.
+#include <string>
+
+struct VirtualClock {
+  double now_s = 0.0;  // virtual simulation time: deterministic by design
+  void advance(double dt) { now_s += dt; }
+  // The steady_clock alternative lives in src/obs (whitelisted there).
+  double time(double scale) const { return now_s * scale; }  // member: fine
+};
+
+double step(VirtualClock& clk) {
+  clk.advance(1.0 / 64.0);
+  const std::string why = "wall time via system_clock is banned here";
+  return clk.time(2.0) + static_cast<double>(why.size());
+}

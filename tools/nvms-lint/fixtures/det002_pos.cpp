@@ -1,0 +1,13 @@
+// Fixture: DET-002 positive — host-clock reads, including the alias trick
+// that a call-site-only rule would miss.
+#include <chrono>
+#include <ctime>
+
+using Clock = std::chrono::steady_clock;  // finding: naming the clock
+
+double stamp() {
+  const auto t0 = std::chrono::system_clock::now();  // finding
+  const std::time_t t1 = std::time(nullptr);         // finding
+  (void)t0;
+  return static_cast<double>(t1) + static_cast<double>(Clock::period::den);
+}

@@ -1,0 +1,24 @@
+// Fixture: DET-003 negative — sort before you serialize.
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void write_csv(std::ostream& out,
+               const std::unordered_map<std::string, double>& cells) {
+  // The canonical escape: copy to a sorted container, iterate that.
+  std::vector<std::pair<std::string, double>> rows(cells.begin(),
+                                                   cells.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& kv : rows) {
+    out << kv.first << "," << kv.second << "\n";
+  }
+}
+
+void write_map(std::ostream& out, const std::map<std::string, long>& totals) {
+  for (const auto& kv : totals) {  // std::map: ordered, fine
+    out << kv.first << "," << kv.second << "\n";
+  }
+}

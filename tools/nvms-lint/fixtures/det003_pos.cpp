@@ -1,0 +1,20 @@
+// Fixture: DET-003 positive — exporting in hash order.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void write_csv(std::ostream& out,
+               const std::unordered_map<std::string, double>& cells) {
+  for (const auto& kv : cells) {  // finding: hash-order bytes in the export
+    out << kv.first << "," << kv.second << "\n";
+  }
+}
+
+void write_totals(std::ostream& out) {
+  std::unordered_map<std::string, long> totals;
+  totals["a"] = 1;
+  // finding: classic iterator loop in an export path
+  for (auto it = totals.begin(); it != totals.end(); ++it) {
+    out << it->first << "\n";
+  }
+}

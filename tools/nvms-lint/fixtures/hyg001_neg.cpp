@@ -1,0 +1,17 @@
+// Fixture: HYG-001 negative — RAII owners and deleted special members.
+#include <memory>
+#include <vector>
+
+struct Blob {
+  int x = 0;
+  Blob(const Blob&) = delete;             // deleted copy: fine
+  Blob& operator=(const Blob&) = delete;  // deleted assign: fine
+  Blob() = default;
+};
+
+int safe() {
+  auto b = std::make_unique<Blob>();
+  std::vector<int> arr(16, 0);
+  // "new" appearing in a comment or string must not count: new delete new.
+  return b->x + arr[0];
+}

@@ -1,0 +1,13 @@
+// Fixture: HYG-001 positive — raw ownership.
+struct Blob {
+  int x = 0;
+};
+
+int leak_prone() {
+  Blob* b = new Blob;        // finding: raw new
+  int* arr = new int[16];    // finding: raw new[]
+  const int v = b->x + arr[0];
+  delete b;                  // finding: raw delete
+  delete[] arr;              // finding: raw delete[]
+  return v;
+}

@@ -1,0 +1,32 @@
+// Fixture: HYG-002 negative — catch-alls that rethrow or record, and a
+// typed catch (outside the rule).
+#include <exception>
+#include <stdexcept>
+
+int risky();
+
+int transactional() {
+  try {
+    return risky();
+  } catch (...) {
+    // Roll back, then rethrow: the error still propagates.
+    throw;
+  }
+}
+
+std::exception_ptr capture() {
+  try {
+    (void)risky();
+  } catch (...) {
+    return std::current_exception();  // recorded for a later rethrow
+  }
+  return nullptr;
+}
+
+int typed() {
+  try {
+    return risky();
+  } catch (const std::runtime_error&) {  // typed: HYG-002 does not apply
+    return -1;
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: HYG-002 positive — a catch-all that eats the evidence.
+int risky();
+
+int swallow() {
+  try {
+    return risky();
+  } catch (...) {  // finding: no rethrow, no record — the error vanishes
+    return -1;
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture: OBS-001 positive — metric names outside the schema.
+struct Registry {
+  int counter(const char*) { return 0; }
+  int gauge(const char*) { return 0; }
+  void epoch_sample(const char*, const char*, double, double) {}
+};
+
+void publish(Registry& m) {
+  m.counter("app.read_bytes");          // in schema: fine
+  m.gauge("bandwidht.read_gbs");        // finding: typo'd name
+  m.counter("scratch.debug_events");    // finding: ad-hoc family
+  m.epoch_sample("wpq.depth", "nvm0", 0.0, 1.0);  // finding: not in schema
+}

@@ -1,0 +1,8 @@
+// Fixture: SUP-001 negative — well-formed suppressions, both placements.
+#include <chrono>
+
+// NVMS_LINT(allow: DET-002, fixture demonstrates a standalone suppression)
+using Clock = std::chrono::steady_clock;
+
+using Wall =
+    std::chrono::system_clock;  // NVMS_LINT(allow: DET-002, trailing form)

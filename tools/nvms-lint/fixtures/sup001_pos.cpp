@@ -1,0 +1,8 @@
+// Fixture: SUP-001 positive — suppressions that do not earn their keep.
+#include <chrono>
+
+// NVMS_LINT(allow: DET-002)   <- finding: no reason given
+using BadClock = std::chrono::steady_clock;
+
+// NVMS_LINT(allow: DET-999, made-up rule)   <- finding: unknown rule
+using AlsoBad = std::chrono::system_clock;

@@ -1,0 +1,186 @@
+// Tokenizer for nvms-lint: enough C++ lexing to walk real sources safely.
+//
+// Guarantees the rules rely on:
+//   * comment text and string/char literal contents never leak into
+//     identifier tokens (no false DET hits on "steady_clock" in a doc
+//     comment or a log message);
+//   * comments are preserved as tokens (suppressions live there);
+//   * raw strings, escapes, digit separators and line continuations are
+//     handled; unterminated constructs close at EOF instead of failing.
+#include <cctype>
+
+#include "lint.hpp"
+
+namespace nvmslint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> toks;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool in_preproc = false;   // inside a # directive (until unescaped newline)
+  bool line_has_token = false;  // a non-comment token was seen on this line
+
+  auto push = [&](TokKind kind, std::string text, int at_line) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = at_line;
+    t.preproc = in_preproc;
+    toks.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      in_preproc = false;
+      line_has_token = false;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      // Line continuation: the logical line (and any preprocessor
+      // directive) continues.
+      ++line;
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // ---- comments -------------------------------------------------------
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') break;
+        ++j;
+      }
+      push(TokKind::kComment, src.substr(i + 2, j - i - 2), line);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j : n;
+      push(TokKind::kComment, src.substr(i + 2, end - i - 2), start_line);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // ---- preprocessor ---------------------------------------------------
+    if (c == '#' && !line_has_token) {
+      in_preproc = true;
+      line_has_token = true;
+      push(TokKind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+
+    // ---- string / char literals ----------------------------------------
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string word = src.substr(i, j - i);
+      // Raw string: R"delim( ... )delim", optionally with encoding prefix
+      // (u8R, uR, UR, LR) — all end in 'R' right before the quote.
+      if (j < n && src[j] == '"' && !word.empty() && word.back() == 'R') {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(' && src[k] != '\n') delim += src[k++];
+        const std::string close = ")" + delim + "\"";
+        const std::size_t body = (k < n) ? k + 1 : n;
+        std::size_t end = src.find(close, body);
+        if (end == std::string::npos) end = n;
+        const int start_line = line;
+        for (std::size_t p = j; p < end && p < n; ++p) {
+          if (src[p] == '\n') ++line;
+        }
+        push(TokKind::kString, src.substr(body, end - body), start_line);
+        i = (end == n) ? n : end + close.size();
+        line_has_token = true;
+        continue;
+      }
+      // Encoding-prefixed ordinary literal (u8"...", L'...')?  Fall
+      // through to the literal scanner below by treating the prefix as
+      // part of the literal.
+      if (j < n && (src[j] == '"' || src[j] == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        i = j;  // re-dispatch on the quote
+        line_has_token = true;
+        continue;
+      }
+      push(TokKind::kIdent, std::move(word), line);
+      i = j;
+      line_has_token = true;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j];
+          text += src[j + 1];
+          if (src[j + 1] == '\n') ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;  // unterminated: close at line end
+        text += src[j];
+        ++j;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text),
+           line);
+      i = (j < n && src[j] == quote) ? j + 1 : j;
+      line_has_token = true;
+      continue;
+    }
+
+    // ---- numbers --------------------------------------------------------
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::kNumber, src.substr(i, j - i), line);
+      i = j;
+      line_has_token = true;
+      continue;
+    }
+
+    // ---- punctuation ----------------------------------------------------
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+    line_has_token = true;
+  }
+
+  return toks;
+}
+
+}  // namespace nvmslint

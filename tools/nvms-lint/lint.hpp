@@ -1,0 +1,165 @@
+// nvms-lint: a self-contained determinism & telemetry static-analysis pass.
+//
+// The simulator's headline guarantee is byte-identical output for any
+// `--jobs` (CHANGES PRs 1-4).  That contract dies quietly: one stray
+// std::random_device, one wall-clock stamp in an exporter, one range-for
+// over an unordered_map feeding a CSV writer, and sweeps stop being
+// reproducible without any test necessarily noticing.  This tool encodes
+// those invariants as named, path-scoped rules and is wired into ctest
+// (label `lint`) and CI so violations fail the build at review time.
+//
+// Design: a hand-rolled, preprocessor-aware tokenizer (comments, string
+// and raw-string literals, char literals, line continuations) feeding a
+// declarative rule engine.  No LLVM / libclang dependency — the rules are
+// lexical and structural (balanced-token scans), which is exactly enough
+// for the invariants below and keeps the tool buildable anywhere the
+// repo builds.  C++17, no dependencies beyond the standard library.
+//
+// Rules (catalogued in docs/LINT.md):
+//   DET-001  no unseeded randomness (std::random_device, rand, srand, ...)
+//   DET-002  no wall-clock reads outside a whitelist (obs/ host stamping,
+//            executor wall-time stats)
+//   DET-003  no iteration over unordered containers in export/report paths
+//   OBS-001  metric name literals must match tools/nvms-lint/metric_schema.txt
+//   HYG-001  no raw new/delete in src/
+//   HYG-002  no catch (...) that swallows without rethrow/record in src/
+//   SUP-001  malformed NVMS_LINT suppression (missing reason) — the
+//            machinery polices itself
+//
+// Suppressions: `// NVMS_LINT(allow: DET-002, <reason>)` on the offending
+// line, or alone on the line above it.  The reason is mandatory; an empty
+// reason is itself a finding (SUP-001).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvmslint {
+
+// ---------------------------------------------------------------------------
+// Tokens
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals
+  kString,   // string literal (text excludes quotes; raw strings unescaped)
+  kChar,     // character literal
+  kPunct,    // one punctuation character
+  kComment,  // // or /* */ comment, text excludes the delimiters
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;         // 1-based
+  bool preproc = false; // token lies on a preprocessor directive line
+};
+
+/// Tokenize C++ source.  Never fails: unterminated constructs are closed at
+/// end-of-file.  Comments are kept as tokens so suppressions can be read
+/// from the same stream the rules walk.
+std::vector<Token> tokenize(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Findings
+
+struct Finding {
+  std::string rule;     // "DET-001"
+  std::string file;     // path as scanned (relative to root when possible)
+  int line = 0;         // 1-based
+  std::string message;  // human-readable, one sentence
+};
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppression {
+  std::string rule;    // rule id the comment allows
+  int line = 0;        // line the comment sits on
+  bool next_line = false;  // comment stands alone: applies to the line below
+  std::string reason;  // mandatory free text
+};
+
+/// Parse every NVMS_LINT(...) comment out of a token stream.  Malformed
+/// suppressions (no reason) are reported as SUP-001 findings.
+std::vector<Suppression> collect_suppressions(const std::vector<Token>& toks,
+                                              const std::string& file,
+                                              std::vector<Finding>* findings);
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;  // one line, shown by --list-rules and in SARIF
+};
+
+struct Config {
+  /// Repo root used to relativize paths for reporting and scoping.
+  std::string root;
+  /// Only run these rule ids (empty = all).
+  std::vector<std::string> only_rules;
+  /// Treat every file as in scope for path-scoped rules (fixture tests).
+  bool all_paths = false;
+  /// OBS-001 schema: exact metric names plus "prefix.*" patterns.
+  std::vector<std::string> metric_schema;
+
+  /// DET-002 whitelist: path fragments where host-clock reads are part of
+  /// the design (obs/ stamps spans on the host clock; the executor reports
+  /// wall-time stats).  Matched against the relativized path.
+  std::vector<std::string> wallclock_whitelist = {
+      "src/obs/",
+      "src/harness/executor",
+  };
+  /// DET-003 scope: export/report/CSV paths where iteration order becomes
+  /// bytes in a deliverable.
+  std::vector<std::string> export_paths = {
+      "src/obs/export",
+      "src/harness/report",
+      "src/harness/ascii_plot",
+      "src/cli/",
+  };
+  /// OBS-001 / HYG-00x scope: production sources only.
+  std::vector<std::string> src_paths = {"src/"};
+
+  bool rule_enabled(const std::string& id) const;
+};
+
+/// Load "name-per-line" schema file; '#' starts a comment.  Returns false
+/// when the file cannot be read.
+bool load_metric_schema(const std::string& path, std::vector<std::string>* out);
+
+/// True when `name` matches an exact schema entry or a "prefix.*" pattern.
+bool metric_matches_schema(const std::string& name,
+                           const std::vector<std::string>& schema);
+
+/// All rules the engine knows, in report order.
+const std::vector<RuleInfo>& all_rules();
+
+// ---------------------------------------------------------------------------
+// Engine
+
+/// Lint one file's contents.  `path` should already be relativized against
+/// the config root (see relativize()).
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Config& config);
+
+/// Read and lint one file from disk.  I/O errors surface as a finding with
+/// rule "IO" so a vanished file cannot silently pass the gate.
+std::vector<Finding> lint_file(const std::string& path, const Config& config);
+
+/// Make `path` relative to `root` when it lies underneath it; otherwise
+/// return it unchanged.  Always forward slashes.
+std::string relativize(const std::string& path, const std::string& root);
+
+// ---------------------------------------------------------------------------
+// Output
+
+std::string render_human(const std::vector<Finding>& findings);
+std::string render_json(const std::vector<Finding>& findings);
+std::string render_sarif(const std::vector<Finding>& findings);
+
+}  // namespace nvmslint

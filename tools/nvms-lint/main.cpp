@@ -1,0 +1,148 @@
+// nvms-lint driver: walk the given files/directories and report every
+// rule violation.  Exit 0 when clean, 1 on findings, 2 on usage errors —
+// so `nvms-lint src tests bench examples` is directly a CI gate.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: nvms-lint [options] <file-or-dir>...\n"
+         "\n"
+         "  --root DIR        repo root for path scoping/reporting "
+         "(default: cwd)\n"
+         "  --schema FILE     metric schema (default: "
+         "<root>/tools/nvms-lint/metric_schema.txt)\n"
+         "  --format FMT      human | json | sarif (default: human)\n"
+         "  --rule ID         run only this rule (repeatable)\n"
+         "  --all-paths       apply path-scoped rules everywhere "
+         "(fixture tests)\n"
+         "  --list-rules      print the rule catalogue and exit\n"
+         "\n"
+         "exit status: 0 clean, 1 findings, 2 usage error\n";
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+/// Expand files/directories into a deterministic (sorted) file list.
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       std::ostream& err, bool* ok) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      err << "nvms-lint: no such file or directory: " << p << "\n";
+      *ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nvmslint::Config config;
+  config.root = fs::current_path().string();
+  std::string schema_path;
+  std::string format = "human";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "nvms-lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : nvmslint::all_rules()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--root") {
+      config.root = value("--root");
+    } else if (arg == "--schema") {
+      schema_path = value("--schema");
+    } else if (arg == "--format") {
+      format = value("--format");
+    } else if (arg == "--rule") {
+      config.only_rules.push_back(value("--rule"));
+    } else if (arg == "--all-paths") {
+      config.all_paths = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nvms-lint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (format != "human" && format != "json" && format != "sarif") {
+    std::cerr << "nvms-lint: unknown format " << format << "\n";
+    return 2;
+  }
+
+  if (schema_path.empty()) {
+    schema_path = (fs::path(config.root) / "tools" / "nvms-lint" /
+                   "metric_schema.txt")
+                      .string();
+  }
+  if (!nvmslint::load_metric_schema(schema_path, &config.metric_schema) &&
+      config.rule_enabled("OBS-001")) {
+    std::cerr << "nvms-lint: cannot read metric schema " << schema_path
+              << "\n";
+    return 2;
+  }
+
+  bool ok = true;
+  const std::vector<std::string> files = collect_files(paths, std::cerr, &ok);
+  if (!ok) return 2;
+
+  std::vector<nvmslint::Finding> findings;
+  for (const std::string& f : files) {
+    std::vector<nvmslint::Finding> fs_ = nvmslint::lint_file(f, config);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  if (format == "json") {
+    std::cout << nvmslint::render_json(findings);
+  } else if (format == "sarif") {
+    std::cout << nvmslint::render_sarif(findings);
+  } else {
+    std::cout << nvmslint::render_human(findings);
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Output renderers: human (one finding per line, grep-able), JSON (an
+// array of finding objects) and SARIF 2.1.0 (GitHub code-scanning
+// annotations).  All three are deterministic functions of the finding
+// list — CI diffs of lint output are meaningful.
+#include <map>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace nvmslint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_human(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  if (findings.empty()) {
+    out << "nvms-lint: clean\n";
+  } else {
+    out << "nvms-lint: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "  {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << json_escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"nvms-lint\",\n"
+      << "      \"informationUri\": \"docs/LINT.md\",\n"
+      << "      \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "        {\"id\": \"" << json_escape(rules[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rules[i].summary) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }},\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace nvmslint

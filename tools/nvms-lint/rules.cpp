@@ -1,0 +1,613 @@
+// Rule engine for nvms-lint.
+//
+// Every rule is a pass over the token stream produced by tokenize().  The
+// passes are lexical/structural (identifier matching plus balanced-token
+// scans), which is deliberately conservative: a rule must never miss a
+// violation because of formatting, and false positives have a paved
+// escape (inline suppression with a mandatory reason).
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace nvmslint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers
+
+/// Index of the next non-comment token at or after `i`; toks.size() if none.
+std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() && toks[i].kind == TokKind::kComment) ++i;
+  return i;
+}
+
+/// Index of the previous non-comment token before `i`; npos if none.
+std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (toks[i].kind != TokKind::kComment) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// True when the token before `i` is `.` or the `>` of `->` — i.e. the
+/// identifier at `i` is a member access, not a free name.
+bool is_member_access(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t p = prev_code(toks, i);
+  if (p == static_cast<std::size_t>(-1)) return false;
+  if (is_punct(toks[p], ".")) return true;
+  if (is_punct(toks[p], ">")) {
+    const std::size_t pp = prev_code(toks, p);
+    return pp != static_cast<std::size_t>(-1) && is_punct(toks[pp], "-");
+  }
+  return false;
+}
+
+/// Heuristic call-context test for short generic names (`time`, `rand`):
+/// `identifier (` is a *call* when what precedes the identifier is
+/// punctuation (`=`, `(`, `,`, `:` of `std::`, ...) or `return`; it is a
+/// *declaration* when an identifier (the return type) precedes it
+/// (`double time(double)`).  Member accesses are excluded separately.
+bool is_call_context(const std::vector<Token>& toks, std::size_t i) {
+  if (is_member_access(toks, i)) return false;
+  const std::size_t p = prev_code(toks, i);
+  if (p == static_cast<std::size_t>(-1)) return true;
+  if (toks[p].kind == TokKind::kPunct) return true;
+  return is_ident(toks[p], "return");
+}
+
+/// Skip a balanced token run starting at the opener `toks[i]` (one of
+/// ( [ { < ).  Returns the index one past the matching closer, or
+/// toks.size() when unbalanced.  For '<' the scan bails out on tokens that
+/// cannot appear in a template argument list (`;`), so comparison
+/// operators do not send it to EOF.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
+                          char open, char close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (open == '<' && t.text == ";") return toks.size();
+    if (t.text[0] == open) ++depth;
+    if (t.text[0] == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+bool path_matches_any(const std::string& path,
+                      const std::vector<std::string>& fragments) {
+  for (const auto& f : fragments) {
+    if (path.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+void add_finding(std::vector<Finding>* out, const std::string& rule,
+                 const std::string& file, int line, std::string message) {
+  Finding f;
+  f.rule = rule;
+  f.file = file;
+  f.line = line;
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// DET-001 — unseeded randomness
+
+const std::set<std::string>& det001_type_names() {
+  static const std::set<std::string> kNames = {"random_device"};
+  return kNames;
+}
+const std::set<std::string>& det001_call_names() {
+  static const std::set<std::string> kNames = {
+      "rand", "srand", "drand48", "lrand48", "mrand48",
+      "srand48", "random_shuffle"};
+  return kNames;
+}
+
+void run_det001(const std::vector<Token>& toks, const std::string& file,
+                std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (det001_type_names().count(t.text) != 0) {
+      add_finding(out, "DET-001", file, t.line,
+                  "std::" + t.text +
+                      " is nondeterministic; derive seeds from the task "
+                      "seed (derive_task_seed) instead");
+      continue;
+    }
+    if (det001_call_names().count(t.text) != 0 && is_call_context(toks, i)) {
+      const std::size_t nx = next_code(toks, i + 1);
+      if (nx < toks.size() && is_punct(toks[nx], "(")) {
+        add_finding(out, "DET-001", file, t.line,
+                    t.text +
+                        "() draws from hidden global state; use a seeded "
+                        "std::mt19937 derived from the task seed");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DET-002 — wall-clock reads
+
+const std::set<std::string>& det002_clock_names() {
+  static const std::set<std::string> kNames = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get"};
+  return kNames;
+}
+const std::set<std::string>& det002_call_names() {
+  static const std::set<std::string> kNames = {"time", "clock", "localtime",
+                                               "gmtime"};
+  return kNames;
+}
+
+void run_det002(const std::vector<Token>& toks, const std::string& file,
+                std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    // Naming any host clock type is flagged, not just ::now(): an alias
+    // (`using Clock = std::chrono::steady_clock`) would otherwise smuggle
+    // every later Clock::now() past a call-site-only rule.
+    if (det002_clock_names().count(t.text) != 0) {
+      add_finding(out, "DET-002", file, t.line,
+                  t.text +
+                      " reads the host clock; simulator output must be a "
+                      "function of the virtual clock only");
+      continue;
+    }
+    if (det002_call_names().count(t.text) != 0 && is_call_context(toks, i)) {
+      const std::size_t nx = next_code(toks, i + 1);
+      if (nx < toks.size() && is_punct(toks[nx], "(")) {
+        add_finding(out, "DET-002", file, t.line,
+                    t.text +
+                        "() reads the host clock; stamp with the virtual "
+                        "clock or whitelist the module");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DET-003 — unordered iteration in export paths
+
+const std::set<std::string>& unordered_names() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+/// Names declared (or received as parameters) with an unordered container
+/// type anywhere in the file: `std::unordered_map<K, V> name` taints
+/// `name`.  Template arguments are skipped with a balanced scan; `&`, `*`
+/// and cv-qualifiers between the closer and the name are ignored.
+std::set<std::string> tainted_names(const std::vector<Token>& toks) {
+  std::set<std::string> tainted;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        unordered_names().count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = next_code(toks, i + 1);
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      j = skip_balanced(toks, j, '<', '>');
+    }
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const") || toks[j].kind == TokKind::kComment)) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      tainted.insert(toks[j].text);
+    }
+  }
+  return tainted;
+}
+
+void run_det003(const std::vector<Token>& toks, const std::string& file,
+                std::vector<Finding>* out) {
+  const std::set<std::string> tainted = tainted_names(toks);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for")) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+    const std::size_t end = skip_balanced(toks, open, '(', ')');
+    // Find a top-level ':' (range-for separator).  '::' never parses as
+    // one because both halves are adjacent ':' puncts.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = open; j < end; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == ":" && depth == 1) {
+        const bool prev_colon = j > 0 && is_punct(toks[j - 1], ":");
+        const bool next_colon = j + 1 < end && is_punct(toks[j + 1], ":");
+        if (!prev_colon && !next_colon) {
+          colon = j;
+          break;
+        }
+      }
+    }
+    if (colon != 0) {
+      // Range-for: any unordered name in the range expression is a
+      // hash-order walk feeding the export.
+      for (std::size_t j = colon + 1; j + 1 < end; ++j) {
+        const Token& t = toks[j];
+        if (t.kind != TokKind::kIdent) continue;
+        if (unordered_names().count(t.text) != 0 ||
+            tainted.count(t.text) != 0) {
+          add_finding(out, "DET-003", file, toks[i].line,
+                      "range-for over unordered container '" + t.text +
+                          "' in an export path; iteration order is not "
+                          "deterministic — sort first");
+          break;
+        }
+      }
+      continue;
+    }
+    // Classic iterator loop: `for (auto it = tainted.begin(); ...)`.
+    // Copying out via `.begin()` elsewhere (into a sorted container) is
+    // the sanctioned escape, so only loop headers are flagged.
+    for (std::size_t j = open; j + 1 < end; ++j) {
+      if (toks[j].kind != TokKind::kIdent || tainted.count(toks[j].text) == 0) {
+        continue;
+      }
+      const std::size_t dot = next_code(toks, j + 1);
+      if (dot >= end || !is_punct(toks[dot], ".")) continue;
+      const std::size_t fn = next_code(toks, dot + 1);
+      if (fn < end &&
+          (is_ident(toks[fn], "begin") || is_ident(toks[fn], "cbegin"))) {
+        add_finding(out, "DET-003", file, toks[i].line,
+                    "iterator loop over unordered container '" +
+                        toks[j].text +
+                        "' in an export path; sort into a vector first");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OBS-001 — metric names must match the schema
+
+const std::set<std::string>& metric_sinks() {
+  static const std::set<std::string> kNames = {"counter", "gauge", "histogram",
+                                               "epoch_sample"};
+  return kNames;
+}
+
+void run_obs001(const std::vector<Token>& toks, const std::string& file,
+                const Config& config, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || metric_sinks().count(t.text) == 0) {
+      continue;
+    }
+    // Only member calls (`m.gauge(...)`, `probe->epoch_sample(...)`):
+    // declarations and free functions with the same name stay out.
+    if (!is_member_access(toks, i)) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+    const std::size_t arg = next_code(toks, open + 1);
+    if (arg >= toks.size() || toks[arg].kind != TokKind::kString) {
+      continue;  // dynamic name (prefix + ".hits"): not statically checkable
+    }
+    if (!metric_matches_schema(toks[arg].text, config.metric_schema)) {
+      add_finding(out, "OBS-001", file, toks[arg].line,
+                  "metric name \"" + toks[arg].text +
+                      "\" is not in tools/nvms-lint/metric_schema.txt; add "
+                      "it to the schema or fix the name");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HYG-001 — raw new/delete
+
+void run_hyg001(const std::vector<Token>& toks, const std::string& file,
+                std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || (t.text != "new" && t.text != "delete")) {
+      continue;
+    }
+    const std::size_t p = prev_code(toks, i);
+    const bool after_eq =
+        p != static_cast<std::size_t>(-1) && is_punct(toks[p], "=");
+    // `operator new` / `operator delete` declarations are not raw usage.
+    if (p != static_cast<std::size_t>(-1) && is_ident(toks[p], "operator")) {
+      continue;
+    }
+    if (t.text == "delete") {
+      // Deleted special member: `= delete ;` — the only benign spelling.
+      const std::size_t nx = next_code(toks, i + 1);
+      if (after_eq && nx < toks.size() && is_punct(toks[nx], ";")) continue;
+      add_finding(out, "HYG-001", file, t.line,
+                  "raw `delete`; use RAII owners instead of manual frees");
+      continue;
+    }
+    // `x = new T` is exactly the raw-owning pattern; flag all `new`.
+    add_finding(out, "HYG-001", file, t.line,
+                "raw `new`; use std::make_unique/std::vector so ownership "
+                "is explicit");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HYG-002 — swallowing catch (...)
+
+void run_hyg002(const std::vector<Token>& toks, const std::string& file,
+                std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "catch")) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+    // `catch (...)` is exactly three '.' puncts between the parens.
+    std::size_t j = next_code(toks, open + 1);
+    int dots = 0;
+    while (j < toks.size() && is_punct(toks[j], ".")) {
+      ++dots;
+      j = next_code(toks, j + 1);
+    }
+    if (dots != 3 || j >= toks.size() || !is_punct(toks[j], ")")) continue;
+    const std::size_t body = next_code(toks, j + 1);
+    if (body >= toks.size() || !is_punct(toks[body], "{")) continue;
+    const std::size_t end = skip_balanced(toks, body, '{', '}');
+    bool handled = false;
+    for (std::size_t k = body; k < end; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (toks[k].text == "throw" || toks[k].text == "current_exception" ||
+          toks[k].text == "rethrow_exception") {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) {
+      add_finding(out, "HYG-002", file, toks[i].line,
+                  "catch (...) swallows the exception; rethrow, or record "
+                  "it via std::current_exception()");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+std::vector<Suppression> collect_suppressions(const std::vector<Token>& toks,
+                                              const std::string& file,
+                                              std::vector<Finding>* findings) {
+  // Lines that carry at least one non-comment token, so a standalone
+  // suppression comment can bind to the next code line.
+  std::set<int> code_lines;
+  int max_line = 0;
+  for (const Token& t : toks) {
+    max_line = std::max(max_line, t.line);
+    if (t.kind != TokKind::kComment) code_lines.insert(t.line);
+  }
+
+  std::vector<Suppression> out;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) continue;
+    const std::size_t at = t.text.find("NVMS_LINT(");
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + std::string("NVMS_LINT").size();
+    const std::size_t close = t.text.find(')', open);
+    if (close == std::string::npos) {
+      add_finding(findings, "SUP-001", file, t.line,
+                  "malformed NVMS_LINT suppression: missing ')'");
+      continue;
+    }
+    const std::string body = t.text.substr(open + 1, close - open - 1);
+    const std::size_t colon = body.find(':');
+    const std::string verb = colon == std::string::npos
+                                 ? trim(body)
+                                 : trim(body.substr(0, colon));
+    if (verb != "allow" && verb != "allow-file") {
+      add_finding(findings, "SUP-001", file, t.line,
+                  "malformed NVMS_LINT suppression: expected "
+                  "'allow:' or 'allow-file:'");
+      continue;
+    }
+    const std::string rest =
+        colon == std::string::npos ? "" : body.substr(colon + 1);
+    const std::size_t comma = rest.find(',');
+    const std::string rule = trim(comma == std::string::npos
+                                      ? rest
+                                      : rest.substr(0, comma));
+    const std::string reason =
+        comma == std::string::npos ? "" : trim(rest.substr(comma + 1));
+    bool known = false;
+    for (const RuleInfo& r : all_rules()) known = known || r.id == rule;
+    if (!known) {
+      add_finding(findings, "SUP-001", file, t.line,
+                  "suppression names unknown rule '" + rule + "'");
+      continue;
+    }
+    if (reason.empty()) {
+      add_finding(findings, "SUP-001", file, t.line,
+                  "suppression for " + rule +
+                      " has no reason; the reason is mandatory");
+      continue;
+    }
+    Suppression s;
+    s.rule = rule;
+    s.reason = reason;
+    if (verb == "allow-file") {
+      s.line = 0;  // file-wide
+      out.push_back(std::move(s));
+      continue;
+    }
+    if (code_lines.count(t.line) != 0) {
+      s.line = t.line;  // trailing comment: same line
+    } else {
+      // Standalone comment: bind to the next line that has code.
+      auto it = code_lines.upper_bound(t.line);
+      s.line = it != code_lines.end() ? *it : t.line + 1;
+      s.next_line = true;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Config / schema
+
+bool Config::rule_enabled(const std::string& id) const {
+  if (only_rules.empty()) return true;
+  return std::find(only_rules.begin(), only_rules.end(), id) !=
+         only_rules.end();
+}
+
+bool load_metric_schema(const std::string& path,
+                        std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (!line.empty()) out->push_back(line);
+  }
+  return true;
+}
+
+bool metric_matches_schema(const std::string& name,
+                           const std::vector<std::string>& schema) {
+  for (const std::string& entry : schema) {
+    if (entry == name) return true;
+    if (entry.size() >= 2 && entry.compare(entry.size() - 2, 2, ".*") == 0) {
+      const std::string prefix = entry.substr(0, entry.size() - 1);  // "bw."
+      if (name.compare(0, prefix.size(), prefix) == 0 &&
+          name.size() > prefix.size()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"DET-001", "no unseeded randomness (std::random_device, rand, srand)"},
+      {"DET-002", "no wall-clock reads outside the obs/executor whitelist"},
+      {"DET-003", "no unordered-container iteration in export/report paths"},
+      {"OBS-001", "metric name literals must match metric_schema.txt"},
+      {"HYG-001", "no raw new/delete in src/"},
+      {"HYG-002", "no catch (...) that swallows without rethrow/record"},
+      {"SUP-001", "NVMS_LINT suppressions must name a rule and a reason"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Config& config) {
+  const std::vector<Token> toks = tokenize(source);
+
+  std::vector<Finding> findings;
+  std::vector<Finding> sup_findings;
+  const std::vector<Suppression> supps =
+      collect_suppressions(toks, path, &sup_findings);
+  if (config.rule_enabled("SUP-001")) {
+    findings.insert(findings.end(), sup_findings.begin(), sup_findings.end());
+  }
+
+  const bool in_export =
+      config.all_paths || path_matches_any(path, config.export_paths);
+  const bool in_src =
+      config.all_paths || path_matches_any(path, config.src_paths);
+  const bool wallclock_ok =
+      !config.all_paths && path_matches_any(path, config.wallclock_whitelist);
+
+  std::vector<Finding> raw;
+  if (config.rule_enabled("DET-001")) run_det001(toks, path, &raw);
+  if (config.rule_enabled("DET-002") && !wallclock_ok) {
+    run_det002(toks, path, &raw);
+  }
+  if (config.rule_enabled("DET-003") && in_export) run_det003(toks, path, &raw);
+  if (config.rule_enabled("OBS-001") && in_src) {
+    run_obs001(toks, path, config, &raw);
+  }
+  if (config.rule_enabled("HYG-001") && in_src) run_hyg001(toks, path, &raw);
+  if (config.rule_enabled("HYG-002") && in_src) run_hyg002(toks, path, &raw);
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Suppression& s : supps) {
+      if (s.rule != f.rule) continue;
+      if (s.line == 0 || s.line == f.line) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) findings.push_back(std::move(f));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const Config& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Finding f;
+    f.rule = "IO";
+    f.file = relativize(path, config.root);
+    f.line = 0;
+    f.message = "cannot read file";
+    return {f};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(relativize(path, config.root), ss.str(), config);
+}
+
+std::string relativize(const std::string& path, const std::string& root) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (root.empty()) return p;
+  std::string r = root;
+  std::replace(r.begin(), r.end(), '\\', '/');
+  if (!r.empty() && r.back() != '/') r += '/';
+  if (p.compare(0, r.size(), r) == 0) return p.substr(r.size());
+  return p;
+}
+
+}  // namespace nvmslint

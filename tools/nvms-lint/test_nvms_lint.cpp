@@ -1,0 +1,269 @@
+// Self-tests for nvms-lint: tokenizer unit tests, rule fixtures (one
+// positive + one negative per rule), suppression semantics and the
+// output renderers.  The fixture files live under fixtures/ and are
+// linted from disk exactly as CI lints the tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace nvmslint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(NVMS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+Config test_config(std::vector<std::string> only = {}) {
+  Config c;
+  c.all_paths = true;  // fixtures sit outside src/; scope rules everywhere
+  c.only_rules = std::move(only);
+  EXPECT_TRUE(load_metric_schema(NVMS_LINT_SCHEMA, &c.metric_schema));
+  return c;
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs, const std::string& id) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == id; }));
+}
+
+// ---------- tokenizer -------------------------------------------------------
+
+TEST(Lexer, CommentsAndStringsDoNotLeakIdentifiers) {
+  const auto toks = tokenize(
+      "// steady_clock in a comment\n"
+      "const char* s = \"rand() and system_clock\";\n"
+      "/* random_device */ int x = 0;\n");
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent) {
+      EXPECT_NE(t.text, "steady_clock");
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "system_clock");
+      EXPECT_NE(t.text, "random_device");
+    }
+  }
+}
+
+TEST(Lexer, RawStringsAreOneToken) {
+  const auto toks = tokenize("auto j = R\"({\"rand\": time(0)})\";");
+  std::size_t strings = 0;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kString) {
+      ++strings;
+      EXPECT_NE(t.text.find("rand"), std::string::npos);
+    }
+    if (t.kind == TokKind::kIdent) {
+      EXPECT_NE(t.text, "time");
+    }
+  }
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(Lexer, LineNumbersSurviveBlockComments) {
+  const auto toks = tokenize("int a;\n/* two\nlines */\nint b;\n");
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "b") {
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+}
+
+TEST(Lexer, PreprocessorLinesAreMarked) {
+  const auto toks = tokenize("#include <chrono>\nint x;\n");
+  bool saw_include = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && t.text == "include") {
+      saw_include = true;
+      EXPECT_TRUE(t.preproc);
+    }
+    if (t.kind == TokKind::kIdent && t.text == "x") {
+      EXPECT_FALSE(t.preproc);
+    }
+  }
+  EXPECT_TRUE(saw_include);
+}
+
+// ---------- rule fixtures ---------------------------------------------------
+
+struct FixtureCase {
+  const char* rule;
+  const char* pos;
+  std::size_t pos_findings;
+  const char* neg;
+};
+
+class RuleFixtures : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(RuleFixtures, PositiveFixtureIsCaught) {
+  const FixtureCase& fc = GetParam();
+  const auto findings = lint_file(fixture(fc.pos), test_config({fc.rule}));
+  EXPECT_EQ(findings.size(), fc.pos_findings)
+      << render_human(findings);
+  EXPECT_EQ(count_rule(findings, fc.rule), fc.pos_findings);
+}
+
+TEST_P(RuleFixtures, NegativeFixtureIsCleanUnderAllRules) {
+  const FixtureCase& fc = GetParam();
+  const auto findings = lint_file(fixture(fc.neg), test_config());
+  EXPECT_TRUE(findings.empty()) << render_human(findings);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, RuleFixtures,
+    ::testing::Values(
+        FixtureCase{"DET-001", "det001_pos.cpp", 3, "det001_neg.cpp"},
+        FixtureCase{"DET-002", "det002_pos.cpp", 3, "det002_neg.cpp"},
+        FixtureCase{"DET-003", "det003_pos.cpp", 2, "det003_neg.cpp"},
+        FixtureCase{"OBS-001", "obs001_pos.cpp", 3, "obs001_neg.cpp"},
+        FixtureCase{"HYG-001", "hyg001_pos.cpp", 4, "hyg001_neg.cpp"},
+        FixtureCase{"HYG-002", "hyg002_pos.cpp", 1, "hyg002_neg.cpp"},
+        FixtureCase{"SUP-001", "sup001_pos.cpp", 2, "sup001_neg.cpp"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
+      std::string name = param_info.param.rule;
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+// ---------- path scoping ----------------------------------------------------
+
+TEST(Scoping, WallclockWhitelistAdmitsObsAndExecutor) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string clock_src = "using C = std::chrono::steady_clock;\n";
+  EXPECT_TRUE(lint_source("src/obs/tracer.hpp", clock_src, c).empty());
+  EXPECT_TRUE(lint_source("src/harness/executor.cpp", clock_src, c).empty());
+  EXPECT_EQ(lint_source("src/memsim/resolve.cpp", clock_src, c).size(), 1u);
+}
+
+TEST(Scoping, Det003OnlyFiresInExportPaths) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string loop_src =
+      "#include <unordered_map>\n"
+      "void f(std::ostream& o, const std::unordered_map<int,int>& m) {\n"
+      "  for (const auto& kv : m) o << kv.first;\n"
+      "}\n";
+  EXPECT_EQ(lint_source("src/obs/export.cpp", loop_src, c).size(), 1u);
+  EXPECT_EQ(lint_source("src/cli/driver.cpp", loop_src, c).size(), 1u);
+  // Simulator internals may hash-walk freely: order never reaches bytes.
+  EXPECT_TRUE(lint_source("src/memsim/resolve_cache.hpp", loop_src, c).empty());
+}
+
+TEST(Scoping, HygieneRulesAreSrcOnly) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string src = "int* p = new int(3);\n";
+  EXPECT_EQ(lint_source("src/mem/space.cpp", src, c).size(), 1u);
+  EXPECT_TRUE(lint_source("tests/test_edges.cpp", src, c).empty());
+}
+
+// ---------- suppressions ----------------------------------------------------
+
+TEST(Suppressions, TrailingAndStandaloneBothBind) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string src =
+      "// NVMS_LINT(allow: DET-002, standalone binds to the next code line)\n"
+      "using A = std::chrono::steady_clock;\n"
+      "using B = std::chrono::steady_clock;  "
+      "// NVMS_LINT(allow: DET-002, trailing binds to its own line)\n"
+      "using C = std::chrono::steady_clock;\n";
+  const auto findings = lint_source("src/x.cpp", src, c);
+  ASSERT_EQ(findings.size(), 1u) << render_human(findings);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(Suppressions, FileScopeCoversEveryLine) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string src =
+      "// NVMS_LINT(allow-file: DET-002, bench self-timing file)\n"
+      "using A = std::chrono::steady_clock;\n"
+      "using B = std::chrono::system_clock;\n";
+  EXPECT_TRUE(lint_source("src/x.cpp", src, c).empty());
+}
+
+TEST(Suppressions, WrongRuleDoesNotSuppress) {
+  Config c;
+  c.metric_schema = {"bw.*"};
+  const std::string src =
+      "using A = std::chrono::steady_clock;  "
+      "// NVMS_LINT(allow: DET-001, wrong rule id)\n";
+  EXPECT_EQ(count_rule(lint_source("src/x.cpp", src, c), "DET-002"), 1u);
+}
+
+// ---------- schema matching -------------------------------------------------
+
+TEST(Schema, ExactAndPrefixMatching) {
+  const std::vector<std::string> schema = {"bw.read_gbs", "cache.*"};
+  EXPECT_TRUE(metric_matches_schema("bw.read_gbs", schema));
+  EXPECT_TRUE(metric_matches_schema("cache.hit_rate", schema));
+  EXPECT_FALSE(metric_matches_schema("cache.", schema));  // empty suffix
+  EXPECT_FALSE(metric_matches_schema("bw.write_gbs", schema));
+  EXPECT_FALSE(metric_matches_schema("cachex.hit", schema));
+}
+
+TEST(Schema, RepoSchemaCoversTheTreesMetricLiterals) {
+  std::vector<std::string> schema;
+  ASSERT_TRUE(load_metric_schema(NVMS_LINT_SCHEMA, &schema));
+  for (const char* name :
+       {"bw.read_gbs", "bw.write_gbs", "cache.occupancy", "cache.hit_rate",
+        "cache.conflict_rate", "wpq.util", "throttle.read",
+        "phase.duration_s", "app.read_bytes", "app.write_bytes",
+        "placement.evals", "placement.full_replays",
+        "placement.phase_cache.hits", "placement.phase_cache.misses",
+        "placement.phase_cache.hit_rate"}) {
+    EXPECT_TRUE(metric_matches_schema(name, schema)) << name;
+  }
+}
+
+// ---------- output ----------------------------------------------------------
+
+TEST(Output, HumanJsonSarifAgreeOnTheFindings) {
+  Finding f;
+  f.rule = "DET-001";
+  f.file = "src/a.cpp";
+  f.line = 12;
+  f.message = "uses \"rand\"";
+  const std::vector<Finding> fs = {f};
+
+  const std::string human = render_human(fs);
+  EXPECT_NE(human.find("src/a.cpp:12: [DET-001]"), std::string::npos);
+
+  const std::string json = render_json(fs);
+  EXPECT_NE(json.find("\"rule\": \"DET-001\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"rand\\\""), std::string::npos);  // escaping
+
+  const std::string sarif = render_sarif(fs);
+  EXPECT_NE(sarif.find("\"ruleId\": \"DET-001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+TEST(Output, EmptyFindingsRenderAsClean) {
+  EXPECT_NE(render_human({}).find("clean"), std::string::npos);
+  EXPECT_NE(render_sarif({}).find("\"results\": [\n    ]"),
+            std::string::npos);
+}
+
+// ---------- misc ------------------------------------------------------------
+
+TEST(Paths, RelativizeStripsTheRoot) {
+  EXPECT_EQ(relativize("/repo/src/a.cpp", "/repo"), "src/a.cpp");
+  EXPECT_EQ(relativize("/repo/src/a.cpp", "/repo/"), "src/a.cpp");
+  EXPECT_EQ(relativize("/elsewhere/a.cpp", "/repo"), "/elsewhere/a.cpp");
+}
+
+TEST(Engine, MissingFileIsAFindingNotAPass) {
+  const auto findings = lint_file(fixture("does_not_exist.cpp"),
+                                  test_config());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "IO");
+}
+
+}  // namespace
+}  // namespace nvmslint
