@@ -5,6 +5,7 @@
 // per-phase cost must stay in microseconds.
 #include <benchmark/benchmark.h>
 
+#include "harness/kernel_bench.hpp"
 #include "harness/registry.hpp"
 #include "mem/buffer.hpp"
 #include "memsim/dram_cache.hpp"
@@ -144,6 +145,38 @@ void BM_WholeApp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WholeApp)->Unit(benchmark::kMillisecond);
+
+// Epoch-kernel replay throughput (the tentpole hot path): one harvested
+// cached-NVM corpus — app-side work excluded — replayed per iteration.
+// epochs/s is phase submissions through resolve_lanes + walk_batch per
+// wall second; lane-GB/s is the simulated stream traffic those epochs
+// push through the lane kernels per wall second.  Arg 0 replays the raw
+// kernels, arg 1 the memoized (shared resolve-cache) hot path.
+void BM_EpochReplay(benchmark::State& state) {
+  static const std::vector<PhaseCorpus> corpora = [] {
+    init_registry();
+    std::vector<PhaseCorpus> c;
+    c.push_back(harvest_corpus("xsbench", Mode::kCachedNvm));
+    c.push_back(harvest_corpus("ft", Mode::kCachedNvm));
+    return c;
+  }();
+  const auto mode = state.range(0) != 0 ? ResolveCacheMode::kShared
+                                        : ResolveCacheMode::kOff;
+  std::uint64_t epochs = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const ReplayResult r = replay_corpora(corpora, 1, mode);
+    benchmark::DoNotOptimize(r.time_fold);
+    epochs += r.epochs;
+    bytes += r.stream_bytes;
+  }
+  state.counters["epochs/s"] = benchmark::Counter(
+      static_cast<double>(epochs), benchmark::Counter::kIsRate);
+  state.counters["lane-GB/s"] = benchmark::Counter(
+      static_cast<double>(bytes) / 1e9, benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) != 0 ? "memoized" : "raw-kernels");
+}
+BENCHMARK(BM_EpochReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -62,6 +62,9 @@ DramCache::DramCache(const CacheParams& params)
          sets_ % (sample_mod_ * 2) == 0) {
     sample_mod_ *= 2;
   }
+  sample_shift_ = 0;
+  while ((1ull << sample_shift_) < sample_mod_) ++sample_shift_;
+  sets_mod_.init(sets_);
   tags_.assign(sets_ / sample_mod_, kEmpty);
   dirty_.assign(tags_.size(), 0);
   // Root of the history digest: everything besides the access sequence
@@ -90,9 +93,12 @@ void DramCache::catch_up() {
   // Replay the walks that memo hits skipped, in order: the walk is
   // deterministic, so this rebuilds exactly the tag/dirty/RNG state a
   // memo-less run would hold here.  Outcomes are already known; discard.
-  std::vector<PendingAccess> replay;
-  replay.swap(pending_);
-  for (const auto& p : replay) (void)walk(p.stream, p.base, p.size);
+  // The replay runs through the same batched walk kernel as a live miss,
+  // out of a member buffer so a long hit run followed by a miss burst
+  // catches up without allocating.
+  replay_scratch_.clear();
+  replay_scratch_.swap(pending_);
+  for (const auto& p : replay_scratch_) (void)walk(p.stream, p.base, p.size);
 }
 
 void DramCache::fold_access(const StreamDesc& stream, std::uint64_t base,
@@ -166,48 +172,363 @@ std::uint64_t DramCache::snap_line(std::uint64_t line,
 
 CacheOutcome DramCache::access(const StreamDesc& stream, std::uint64_t base,
                                std::uint64_t size) {
-  // Empty accesses touch no state; keep them out of the history digest so
-  // both sides of a memo stay consistent for free.
-  if (stream.bytes == 0 || size == 0) return CacheOutcome{};
+  const CacheAccessRequest req{stream, base, size};
+  CacheOutcome out;
+  walk_batch(&req, 1, &out);
+  return out;
+}
 
-  if (memo_ == nullptr) {
-    fold_access(stream, base, size);  // keep the digest attachable mid-run
-    const CachedStreamOutcome computed = walk(stream, base, size);
-    emit_probe(computed);
-    return computed.outcome;
-  }
-
-  // Key = digest of the full prior history + this access, exactly.  Word
-  // equality pins the current access; the 128-bit digest pins the history.
+void DramCache::walk_batch(const CacheAccessRequest* reqs, std::size_t n,
+                           CacheOutcome* out) {
+  // The memo key is rebuilt per access (its history digest changes), but
+  // its word storage is hoisted out of the loop so a batch pays at most
+  // one allocation, not one per access.
   ResolveKey key;
-  key.add_word(chain_.lo);
-  key.add_word(chain_.hi);
-  key.add_word((static_cast<std::uint64_t>(stream.pattern) << 32) |
-               (static_cast<std::uint64_t>(stream.dir) << 16) |
-               static_cast<std::uint64_t>(stream.reuse));
-  key.add_word(stream.bytes);
-  key.add_word(stream.granule);
-  key.add_word(stream.reuse_block);
-  key.add_word(base);
-  key.add_word(size);
-  fold_access(stream, base, size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const StreamDesc& stream = reqs[i].stream;
+    const std::uint64_t base = reqs[i].base;
+    const std::uint64_t size = reqs[i].size;
+    // Empty accesses touch no state; keep them out of the history digest
+    // so both sides of a memo stay consistent for free.
+    if (stream.bytes == 0 || size == 0) {
+      out[i] = CacheOutcome{};
+      continue;
+    }
 
-  CachedStreamOutcome hit;
-  if (memo_->lookup(key, &hit)) {
-    // Skip the walk; remember it so a later miss can rebuild real state.
-    pending_.push_back({stream, base, size});
-    emit_probe(hit);
-    return hit.outcome;
+    if (memo_ == nullptr) {
+      fold_access(stream, base, size);  // keep the digest attachable mid-run
+      const CachedStreamOutcome computed = walk(stream, base, size);
+      emit_probe(computed);
+      out[i] = computed.outcome;
+      continue;
+    }
+
+    // Key = digest of the full prior history + this access, exactly.  Word
+    // equality pins the current access; the 128-bit digest pins the
+    // history.
+    key.clear();
+    key.add_word(chain_.lo);
+    key.add_word(chain_.hi);
+    key.add_word((static_cast<std::uint64_t>(stream.pattern) << 32) |
+                 (static_cast<std::uint64_t>(stream.dir) << 16) |
+                 static_cast<std::uint64_t>(stream.reuse));
+    key.add_word(stream.bytes);
+    key.add_word(stream.granule);
+    key.add_word(stream.reuse_block);
+    key.add_word(base);
+    key.add_word(size);
+    fold_access(stream, base, size);
+
+    CachedStreamOutcome hit;
+    if (memo_->lookup(key, &hit)) {
+      // Skip the walk; remember it so a later miss can rebuild real state.
+      pending_.push_back({stream, base, size});
+      emit_probe(hit);
+      out[i] = hit.outcome;
+      continue;
+    }
+    catch_up();
+    const CachedStreamOutcome computed = walk(stream, base, size);
+    memo_->insert(key, computed);
+    emit_probe(computed);
+    out[i] = computed.outcome;
   }
-  catch_up();
-  CachedStreamOutcome computed = walk(stream, base, size);
-  memo_->insert(key, computed);
-  emit_probe(computed);
-  return computed.outcome;
 }
 
 CachedStreamOutcome DramCache::walk(const StreamDesc& stream,
                                     std::uint64_t base, std::uint64_t size) {
+  return use_reference_kernels() ? walk_reference(stream, base, size)
+                                 : walk_soa(stream, base, size);
+}
+
+// NVMS_HOT: the batched sampled-walk kernel.  Touch outcomes accumulate
+// as hit/miss/evict *counts* (exact: every touch moves whole lines, so
+// byte totals are count * line), and the sequential path replaces the
+// three per-line modulos of the reference with incremental position/set
+// arithmetic — valid because stride <= lines_in_buf and the per-step set
+// increments are < sets_, so one conditional subtract reduces each.
+CachedStreamOutcome DramCache::walk_soa(const StreamDesc& stream,
+                                        std::uint64_t base,
+                                        std::uint64_t size) {
+  const std::uint64_t L = params_.line;
+  const std::uint64_t base_line = base / L;
+  const std::uint64_t lines_in_buf = std::max<std::uint64_t>(1, size / L);
+  const std::uint64_t touches =
+      std::max<std::uint64_t>(1, stream.bytes / L);
+  const bool is_write = stream.dir == Dir::kWrite;
+
+  // Count-based touch: identical tag/dirty/valid updates to touch(), with
+  // the per-touch CacheOutcome replaced by three counters.  Every counter
+  // is a local (their addresses never escape, so they live in registers
+  // regardless of what the tag/dirty stores may alias); valid_ absorbs the
+  // cold-fill count once at the end.
+  std::uint64_t n_hit = 0;
+  std::uint64_t n_miss = 0;
+  std::uint64_t n_evict = 0;
+  std::uint64_t n_cold = 0;
+  std::uint64_t* const tags = tags_.data();
+  std::uint8_t* const dirty = dirty_.data();
+  const std::uint8_t wbit = is_write ? 1 : 0;
+  // Walks settle into long hit or miss runs (sequential streams by
+  // construction, random streams once the working set resolves), so the
+  // branches predict well and a hit skips both stores; a branchless
+  // variant with unconditional stores measured 30-40% slower here.
+  const auto touch_slot = [&](std::uint64_t slot, std::uint64_t line) {
+    const std::uint64_t tag = tags[slot];
+    if (tag == line) {
+      ++n_hit;
+      if (is_write) dirty[slot] = 1;
+    } else {
+      ++n_miss;
+      if (tag != kEmpty) {
+        n_evict += dirty[slot];
+      } else {
+        ++n_cold;
+      }
+      tags[slot] = line;
+      dirty[slot] = wbit;
+    }
+  };
+
+  const std::uint64_t sets = sets_;
+  const std::uint64_t smask = sample_mod_ - 1;
+  std::uint64_t simulated = 0;
+  if (stream.pattern == Pattern::kRandom) {
+    // Sample touches/sample_mod uniform lines restricted to sampled sets.
+    // The RNG draw sequence is the contract here; everything around it is
+    // restructured: the set index comes from the division-free sets_mod_,
+    const std::uint64_t n = std::max<std::uint64_t>(1, touches / sample_mod_);
+    // Local generator: the member's state would be reloaded every
+    // iteration (the tag/dirty stores may alias it); a register-resident
+    // copy is written back once.  The draw sequence is unchanged.
+    Rng rng = rng_;
+    const std::uint64_t end_line = base_line + lines_in_buf;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t line = base_line + rng.below(lines_in_buf);
+      // snap_line() inlined: sample_mod_ divides sets_, so
+      // (line % sets_) % sample_mod_ == line & smask and the snap runs on
+      // the line alone; the slot's set is recovered with one reciprocal
+      // modulo of the final snapped line.
+      std::uint64_t snapped = line - (line & smask);
+      if (snapped < base_line) snapped += sample_mod_;
+      if (snapped >= end_line && snapped >= sample_mod_) {
+        snapped -= sample_mod_;  // degenerate: no sampled line in buffer
+      }
+      touch_slot(sets_mod_.mod(snapped) >> sample_shift_, snapped);
+    }
+    rng_ = rng;
+    simulated = n;
+  } else {
+    const std::uint32_t reuse = std::max<std::uint32_t>(stream.reuse, 1);
+    const std::uint64_t distinct = std::max<std::uint64_t>(touches / reuse, 1);
+    const std::uint64_t block_lines =
+        std::max<std::uint64_t>(stream.reuse_block / L, 1);
+    const std::uint64_t stride =
+        distinct >= lines_in_buf
+            ? 1
+            : std::max<std::uint64_t>(1, lines_in_buf / distinct);
+    std::uint64_t visited = 0;
+    const std::uint64_t budget = (touches / sample_mod_) + 1;
+    // Incremental index steps: advancing one stride adds stride to the
+    // position (one wrap subtract) and step_set to the set; a position
+    // wrap shifts the set by wrap_set instead.  The per-block entry point
+    // is the only remaining modulo, and it goes through the reciprocals.
+    FastMod lbuf_mod;
+    lbuf_mod.init(lines_in_buf);
+    const std::uint64_t step_set = stride % sets;
+    const std::uint64_t wrap_set =
+        (step_set + sets - lines_in_buf % sets) % sets;
+    const auto run = [&](bool snap) {
+      for (std::uint64_t b = 0;
+           b * block_lines < distinct && visited < budget; ++b) {
+        const std::uint64_t in_block =
+            std::min(block_lines, distinct - b * block_lines);
+        // Block entry point, amortized over in_block * reuse lines.
+        const std::uint64_t pos0 = lbuf_mod.mod(b * block_lines * stride);
+        const std::uint64_t set0 = sets_mod_.mod(base_line + pos0);
+        for (std::uint32_t r = 0; r < reuse && visited < budget; ++r) {
+          std::uint64_t pos = pos0;
+          std::uint64_t set = set0;
+          for (std::uint64_t i = 0; i < in_block && visited < budget; ++i) {
+            if ((set & smask) == 0) {
+              touch_slot(set >> sample_shift_, base_line + pos);
+              ++visited;
+            } else if (snap) {
+              const std::uint64_t line =
+                  snap_line(base_line + pos, base_line, lines_in_buf);
+              touch_slot(sets_mod_.mod(line) >> sample_shift_, line);
+              ++visited;
+            }
+            pos += stride;
+            std::uint64_t inc = step_set;
+            if (pos >= lines_in_buf) {
+              pos -= lines_in_buf;
+              inc = wrap_set;
+            }
+            set += inc;
+            if (set >= sets) set -= sets;
+          }
+        }
+      }
+    };
+    // Skip-walk: only 1-in-sample_mod_ states pass the sampling test, so
+    // iterating every state wastes ~sample_mod_ iterations per touch.
+    // Between position wraps the set advances by step_set per state, and
+    // sample_mod_ divides sets_, so the phase set % sample_mod_ advances
+    // by d = step_set % sample_mod_ regardless of the mod-sets_ reduction.
+    // The states with phase 0 solve k*d = -s (mod 2^m) in closed form —
+    // with g = gcd(d, 2^m), hits exist iff g | s, land every 2^m/g states,
+    // and the first is (-s/g) * inv(d/g) mod (2^m/g), the inverse by
+    // Newton on the odd d/g.  Touches, their order, and the budget/block
+    // cutoffs are identical to run(false); only the no-op states between
+    // them are jumped over arithmetically.
+    const auto run_skip = [&] {
+      const std::uint64_t d = step_set & smask;
+      std::uint64_t g = sample_mod_;    // gcd(d, sample_mod_) for d == 0
+      std::uint32_t gshift = sample_shift_;
+      std::uint64_t period = 1;
+      std::uint64_t dinv = 0;
+      if (d != 0) {
+        g = d & (0 - d);  // lowest set bit; d < sample_mod_ keeps g < it
+        gshift = static_cast<std::uint32_t>(__builtin_ctzll(g));
+        const std::uint64_t dp = d >> gshift;  // odd
+        period = sample_mod_ >> gshift;
+        std::uint64_t x = dp;  // Newton: x *= 2 - dp*x doubles precision
+        for (int it = 0; it < 5; ++it) x *= 2 - dp * x;
+        dinv = x;
+      }
+      const std::uint64_t pmask = period - 1;
+      const std::uint64_t pstep = period * stride;
+      const std::uint64_t delta = sets_mod_.mod(period * step_set);
+      for (std::uint64_t b = 0;
+           b * block_lines < distinct && visited < budget; ++b) {
+        const std::uint64_t in_block =
+            std::min(block_lines, distinct - b * block_lines);
+        const std::uint64_t pos0 = lbuf_mod.mod(b * block_lines * stride);
+        const std::uint64_t set0 = sets_mod_.mod(base_line + pos0);
+        for (std::uint32_t r = 0; r < reuse && visited < budget; ++r) {
+          std::uint64_t pos = pos0;
+          std::uint64_t set = set0;
+          for (std::uint64_t i = 0; i < in_block && visited < budget;) {
+            // Segment: states i .. i+kw share no position wrap, so their
+            // sets form one arithmetic progression mod sets_.
+            const std::uint64_t kw = (lines_in_buf - 1 - pos) / stride;
+            const std::uint64_t limit =
+                std::min(kw, in_block - 1 - i);  // last state in block
+            const std::uint64_t s = set & smask;
+            if ((s & (g - 1)) == 0) {
+              std::uint64_t k = ((period - (s >> gshift)) * dinv) & pmask;
+              if (k <= limit) {
+                std::uint64_t hpos = pos + k * stride;
+                std::uint64_t hset = sets_mod_.mod(set + k * step_set);
+                while (true) {
+                  touch_slot(hset >> sample_shift_, base_line + hpos);
+                  if (++visited >= budget) break;
+                  k += period;
+                  if (k > limit) break;
+                  hpos += pstep;
+                  hset += delta;
+                  if (hset >= sets) hset -= sets;
+                }
+              }
+            }
+            if (kw >= in_block - 1 - i || visited >= budget) break;
+            // Wrap advance from state i+kw into the next segment.
+            pos += kw * stride + stride - lines_in_buf;
+            set = sets_mod_.mod(set + kw * step_set) + wrap_set;
+            if (set >= sets) set -= sets;
+            i += kw + 1;
+          }
+        }
+      }
+    };
+    run_skip();
+    if (visited == 0) {
+      // A stride sharing a factor with sample_mod_ launched from an
+      // off-phase base set steps over every sampled set; the plain walk
+      // then simulates nothing and the whole stream's traffic vanishes
+      // from the model.  Re-walk with each line snapped to its nearest
+      // in-buffer sampled set so the stream is still represented.
+      run(/*snap=*/true);
+    }
+    simulated = visited;
+  }
+  valid_ += n_cold;
+
+  // Expand the counts into the sampled traffic split.  Exact: the
+  // reference accumulates += L per touch, so totals are counts * L, and
+  // is_write is fixed for the whole walk.
+  CacheOutcome sampled;
+  sampled.hits = n_hit;
+  sampled.misses = n_miss;
+  if (is_write) {
+    sampled.dram_read = n_evict * L;
+    sampled.dram_write = (n_hit + 2 * n_miss) * L;
+  } else {
+    sampled.dram_read = (n_hit + n_evict + n_miss) * L;
+    sampled.dram_write = n_miss * L;
+  }
+  sampled.nvm_read = n_miss * L;
+  sampled.nvm_write = n_evict * L;
+  return finish_walk(stream, sampled, touches, simulated);
+}
+
+/// Conflict-model and sampling scale-up tail shared by the SoA walk —
+/// statement-for-statement the reference tail.
+CachedStreamOutcome DramCache::finish_walk(const StreamDesc& stream,
+                                           CacheOutcome sampled,
+                                           std::uint64_t touches,
+                                           std::uint64_t simulated) {
+  CacheOutcome total;
+  const bool is_write = stream.dir == Dir::kWrite;
+  if (simulated == 0) return {total, occupancy(), 0.0, /*simulated=*/false};
+
+  // Conflict-miss model: at high occupancy, physically-scattered pages
+  // alias in the direct-mapped cache; convert a fraction of hits into
+  // misses with the corresponding fill/writeback traffic.  Hits produced
+  // by immediate temporal blocking (the `reuse` repeats) have a reuse
+  // distance of one block and are exempt — nothing evicts them that fast.
+  const double conflict = params_.conflict_rate(occupancy());
+  if (conflict > 0.0 && sampled.hits > 0) {
+    std::uint64_t exempt = 0;
+    if (stream.pattern != Pattern::kRandom && stream.reuse > 1) {
+      exempt = simulated * (stream.reuse - 1) / stream.reuse;
+      exempt = std::min(exempt, sampled.hits);
+    }
+    const auto moved = static_cast<std::uint64_t>(
+        static_cast<double>(sampled.hits - exempt) * conflict);
+    const std::uint64_t moved_bytes = moved * params_.line;
+    sampled.hits -= moved;
+    sampled.misses += moved;
+    sampled.nvm_read_scattered += moved_bytes;  // isolated line refetch
+    sampled.dram_write += moved_bytes;          // fill
+    if (is_write) {
+      // the displaced victim line was dirty in a write stream
+      sampled.nvm_write += moved_bytes;
+      sampled.dram_read += moved_bytes;  // victim read-out
+    }
+  }
+
+  // Scale sampled outcome up to the full touch count.
+  const double scale =
+      static_cast<double>(touches) / static_cast<double>(simulated);
+  auto sc = [scale](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+  };
+  total.dram_read = sc(sampled.dram_read);
+  total.dram_write = sc(sampled.dram_write);
+  total.nvm_read = sc(sampled.nvm_read);
+  total.nvm_read_scattered = sc(sampled.nvm_read_scattered);
+  total.nvm_write = sc(sampled.nvm_write);
+  total.hits = sc(sampled.hits);
+  total.misses = sc(sampled.misses);
+
+  return {total, occupancy(), conflict, /*simulated=*/true};
+}
+
+CachedStreamOutcome DramCache::walk_reference(const StreamDesc& stream,
+                                              std::uint64_t base,
+                                              std::uint64_t size) {
   CacheOutcome total;
   const std::uint64_t L = params_.line;
   const std::uint64_t base_line = base / L;

@@ -68,15 +68,60 @@ struct CacheOutcome {
   CacheOutcome& operator+=(const CacheOutcome& o);
 };
 
+/// One access of a batched epoch: the stream plus the buffer range it
+/// touches (see DramCache::walk_batch).
+struct CacheAccessRequest {
+  StreamDesc stream;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+};
+
+/// Exact strength-reduced n % d for an invariant divisor: one 128-bit
+/// multiply plus a conditional subtract replaces the hardware divide
+/// (20-40 cycles on the walk kernel's critical path).  With
+/// magic = floor((2^64-1)/d) the estimate floor(n*magic / 2^64) is
+/// floor(n/d) or one below it for every n (the error term
+/// n*(1+(2^64-1) mod d) / (d*2^64) is < 1), so a single subtract
+/// corrects the remainder; d == 1 also lands exactly (q = n-1, r = 1,
+/// corrected to 0).  Identical results to n % d, bit for bit.
+struct FastMod {
+  std::uint64_t d = 1;
+  std::uint64_t magic = ~0ull;
+
+  void init(std::uint64_t div) {
+    d = div;
+    magic = ~0ull / div;
+  }
+  std::uint64_t mod(std::uint64_t n) const {
+    __extension__ typedef unsigned __int128 u128;
+    const auto q =
+        static_cast<std::uint64_t>((static_cast<u128>(n) * magic) >> 64);
+    std::uint64_t r = n - q * d;
+    if (r >= d) r -= d;
+    return r;
+  }
+};
+
 class DramCache {
  public:
   explicit DramCache(const CacheParams& params);
 
   /// Run `stream` through the cache.  The stream touches the address range
   /// [base, base + size) of its buffer; sequential streams walk it
-  /// cyclically, random streams sample lines uniformly.
+  /// cyclically, random streams sample lines uniformly.  Single-access
+  /// wrapper over walk_batch().
   CacheOutcome access(const StreamDesc& stream, std::uint64_t base,
                       std::uint64_t size);
+
+  /// Batched access: run a whole epoch's accesses through the cache in
+  /// order, writing the i-th outcome into out[i].  Byte-identical to n
+  /// access() calls — memo lookups, history-digest folds and probe
+  /// emissions happen per access in sequence — but the key scratch and
+  /// the walk state stay hot across the batch, and the sampled walks run
+  /// the strength-reduced SoA tag loop (walk kernel) instead of the
+  /// per-touch call chain.
+  void walk_batch(const CacheAccessRequest* reqs, std::size_t n,
+                  CacheOutcome* out);
 
   /// Drop all cached state (between experiment runs).
   void reset();
@@ -124,8 +169,25 @@ class DramCache {
   CacheOutcome touch(std::uint64_t line_addr, bool is_write);
   /// The sampled walk behind access(): advances tags/dirty/RNG and returns
   /// the outcome plus the probe-replay signals.  Emits no telemetry.
+  /// Dispatches to walk_soa(), or to walk_reference() under
+  /// set_reference_kernels(true) / -DNVMS_REFERENCE_KERNELS.
   CachedStreamOutcome walk(const StreamDesc& stream, std::uint64_t base,
                            std::uint64_t size);
+  /// Count-accumulating walk kernel: strength-reduced line/set index math
+  /// (no per-line modulo), branch-light tag updates, per-outcome byte
+  /// totals built once from hit/miss/evict counts.  Bit-identical tag,
+  /// dirty, valid and RNG trajectories to walk_reference().
+  CachedStreamOutcome walk_soa(const StreamDesc& stream, std::uint64_t base,
+                               std::uint64_t size);
+  /// The pre-SoA per-touch walk, kept verbatim as the bit-exact oracle.
+  CachedStreamOutcome walk_reference(const StreamDesc& stream,
+                                     std::uint64_t base, std::uint64_t size);
+  /// Shared walk tail: conflict-miss conversion and sampling scale-up of
+  /// the sampled counts (identical statements to the reference tail).
+  CachedStreamOutcome finish_walk(const StreamDesc& stream,
+                                  CacheOutcome sampled,
+                                  std::uint64_t touches,
+                                  std::uint64_t simulated);
   /// Emit the epoch samples of one (real or memo-replayed) access.
   void emit_probe(const CachedStreamOutcome& c);
   void fold_access(const StreamDesc& stream, std::uint64_t base,
@@ -151,6 +213,11 @@ class DramCache {
   /// snapping stays uniform across the address space (the ctor stops
   /// doubling rather than break this).
   std::uint64_t sample_mod_ = 1;
+  /// log2(sample_mod_): sampling doubles from 1, so the mod is a power of
+  /// two and slot = set >> sample_shift_ in the walk kernel.
+  std::uint32_t sample_shift_ = 0;
+  /// Division-free line -> set mapping (sets_ is rarely a power of two).
+  FastMod sets_mod_;
   std::vector<std::uint64_t> tags_;  ///< per sampled set; kEmpty when invalid
   std::vector<std::uint8_t> dirty_;
   std::uint64_t valid_ = 0;
@@ -165,6 +232,9 @@ class DramCache {
   /// Accesses whose walks a memo hit skipped, in order — replayed to
   /// rebuild tags/dirty/RNG when a miss needs real state again.
   std::vector<PendingAccess> pending_;
+  /// catch_up() replay buffer, a member so long memo-hit runs followed by
+  /// a miss burst replay without reallocating per catch-up.
+  std::vector<PendingAccess> replay_scratch_;
 
   static constexpr std::uint64_t kEmpty = ~0ull;
   static constexpr std::uint64_t kResetMarker = 0x5245534554ull;  // "RESET"

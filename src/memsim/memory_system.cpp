@@ -273,26 +273,11 @@ void MemorySystem::route_stream(const StreamDesc& s,
                                          s.granule);
         break;
       }
-      case Mode::kCachedNvm: {
-        // validated single-socket: sck == 0 always.
-        StreamDesc part = s;
-        part.bytes = share[sck];
-        const CacheOutcome out = cache_.access(part, b.base, b.bytes);
-        DeviceDemand& dram_dem = lanes[lane_of(sck, true)];
-        DeviceDemand& nvm_dem = lanes[lane_of(sck, false)];
-        // DRAM side keeps the app's spatial pattern; NVM side moves whole
-        // cache lines (>= media granularity), i.e. large random granules.
-        dram_dem.add(s.pattern, Dir::kRead, out.dram_read, s.granule);
-        dram_dem.add(s.pattern, Dir::kWrite, out.dram_write, s.granule);
-        // Streaming refills are short sequential bursts on the media;
-        // conflict refetches are isolated scattered line reads.
-        nvm_dem.add(Pattern::kStrided, Dir::kRead, out.nvm_read);
-        nvm_dem.add(Pattern::kRandom, Dir::kRead, out.nvm_read_scattered,
-                    config_.cache_line);
-        // Whole-line writebacks combine in the WPQ into sequential bursts.
-        nvm_dem.add(Pattern::kSequential, Dir::kWrite, out.nvm_write);
+      case Mode::kCachedNvm:
+        // Memory mode routes through the batched path in submit(), never
+        // through the per-stream router.
+        NVMS_ASSERT(false, "cached-NVM streams route via walk_batch()");
         break;
-      }
     }
   }
 }
@@ -329,7 +314,43 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
   std::vector<DeviceDemand>& lane_dem = lane_dem_;
   for (auto& d : lane_dem) d = DeviceDemand{};
   double upi_bytes = 0.0;
-  for (const auto& s : phase.streams) route_stream(s, lane_dem, upi_bytes);
+  if (config_.mode == Mode::kCachedNvm) {
+    // Batched Memory-mode routing: collect the whole epoch's accesses,
+    // run them through the cache in one walk_batch() call (byte-identical
+    // to per-stream access(), see DramCache), then fold the outcomes into
+    // the lane demands.  Cached-NVM is validated single-socket with local
+    // placement, so every stream routes entirely to socket 0.
+    access_reqs_.clear();
+    for (const auto& s : phase.streams) {
+      const BufferInfo& b = buffer(s.buffer);
+      require(b.live, "stream references released buffer " + b.name);
+      traffic_[s.buffer].read_bytes += (s.dir == Dir::kRead) ? s.bytes : 0;
+      traffic_[s.buffer].write_bytes += (s.dir == Dir::kWrite) ? s.bytes : 0;
+      access_reqs_.push_back({s, b.base, b.bytes});
+    }
+    outcomes_.resize(access_reqs_.size());
+    cache_.walk_batch(access_reqs_.data(), access_reqs_.size(),
+                      outcomes_.data());
+    DeviceDemand& dram_dem = lane_dem[lane_of(0, true)];
+    DeviceDemand& nvm_dem = lane_dem[lane_of(0, false)];
+    for (std::size_t i = 0; i < access_reqs_.size(); ++i) {
+      const StreamDesc& s = access_reqs_[i].stream;
+      const CacheOutcome& out = outcomes_[i];
+      // DRAM side keeps the app's spatial pattern; NVM side moves whole
+      // cache lines (>= media granularity), i.e. large random granules.
+      dram_dem.add(s.pattern, Dir::kRead, out.dram_read, s.granule);
+      dram_dem.add(s.pattern, Dir::kWrite, out.dram_write, s.granule);
+      // Streaming refills are short sequential bursts on the media;
+      // conflict refetches are isolated scattered line reads.
+      nvm_dem.add(Pattern::kStrided, Dir::kRead, out.nvm_read);
+      nvm_dem.add(Pattern::kRandom, Dir::kRead, out.nvm_read_scattered,
+                  config_.cache_line);
+      // Whole-line writebacks combine in the WPQ into sequential bursts.
+      nvm_dem.add(Pattern::kSequential, Dir::kWrite, out.nvm_write);
+    }
+  } else {
+    for (const auto& s : phase.streams) route_stream(s, lane_dem, upi_bytes);
+  }
 
   // Refresh the whole lane view, including the device pointers: they
   // reference our own *_effective_/*_remote_ members, so re-deriving them
@@ -347,12 +368,17 @@ PhaseResolution MemorySystem::submit(const Phase& phase) {
                     0,
                 "remote traffic on a single-socket system");
   }
-  const MultiResolution multi =
-      resolve_cache_ != nullptr
-          ? resolve_cache_->resolve(phase, lanes_, config_.cpu, upi_bytes,
-                                    config_.upi_bw, probe, t0v)
-          : resolve_lanes(phase, lanes_, config_.cpu, upi_bytes,
-                          config_.upi_bw, probe, t0v);
+  if (resolve_cache_ != nullptr) {
+    resolve_cache_->resolve_into(phase, lanes_, config_.cpu, upi_bytes,
+                                 config_.upi_bw, probe, t0v,
+                                 &resolve_scratch_, &key_scratch_,
+                                 &multi_scratch_);
+  } else {
+    resolve_lanes_into(phase, lanes_, config_.cpu, upi_bytes,
+                       config_.upi_bw, probe, t0v, &resolve_scratch_,
+                       &multi_scratch_);
+  }
+  const MultiResolution& multi = multi_scratch_;
 
   PhaseResolution res;
   res.time = multi.time;

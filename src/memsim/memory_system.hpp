@@ -184,8 +184,8 @@ class MemorySystem {
   void reset_stats(bool drop_cache = false);
 
  private:
-  /// Route one stream to per-device demands, consulting the cache in
-  /// kCachedNvm mode.  Returns bytes added per device for counter purposes.
+  /// Route one stream to per-device demands (kDramOnly / kUncachedNvm;
+  /// Memory-mode streams go through the batched walk in submit()).
   void route_stream(const StreamDesc& s, std::vector<DeviceDemand>& lanes,
                     double& upi_bytes);
   void account_counters(const Phase& phase, double time, double compute_time,
@@ -213,9 +213,18 @@ class MemorySystem {
   PhaseObserver observer_;
   /// Per-submit scratch, reused to keep the hot path allocation-free:
   /// lane_dem_ holds the four per-lane demands being routed, lanes_ the
-  /// LaneDemand views handed to the resolver.
+  /// LaneDemand views handed to the resolver; access_reqs_/outcomes_ carry
+  /// one epoch's batched DRAM-cache accesses (kCachedNvm); the resolver
+  /// runs its SoA fixed point on resolve_scratch_, rebuilds memo keys in
+  /// key_scratch_ and writes resolutions into multi_scratch_ — after the
+  /// first few submits no steady-state allocation remains.
   std::vector<DeviceDemand> lane_dem_;
   std::vector<LaneDemand> lanes_;
+  std::vector<CacheAccessRequest> access_reqs_;
+  std::vector<CacheOutcome> outcomes_;
+  ResolveScratch resolve_scratch_;
+  ResolveKey key_scratch_;
+  MultiResolution multi_scratch_;
   Telemetry* telemetry_ = nullptr;
   ResolveCache* resolve_cache_ = nullptr;
   std::size_t last_phase_span_ = Tracer::kNone;

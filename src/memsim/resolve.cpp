@@ -1,6 +1,7 @@
 #include "memsim/resolve.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <tuple>
 #include <utility>
@@ -55,13 +56,312 @@ std::pair<double, double> write_time_and_drain(const DeviceDemand& dem,
   return {t, drain};
 }
 
+#if defined(NVMS_REFERENCE_KERNELS)
+constexpr bool kForceReference = true;
+#else
+constexpr bool kForceReference = false;
+#endif
+std::atomic<bool> g_reference_kernels{false};
+
+/// WpqModel::utilization with the queue-depth term precomputed — the
+/// arithmetic is expression-for-expression identical (cap005 replaces
+/// `cap * 0.05`, evaluated in the same position).
+inline double wpq_utilization(double demand_bw, double drain_bw,
+                              double cap005) {
+  if (drain_bw <= 0.0) return demand_bw > 0.0 ? 1.0 : 0.0;
+  const double rho = demand_bw / drain_bw;
+  if (rho >= 1.0) return 1.0;
+  const double ql = rho * rho / (1.0 - rho);
+  return std::min(1.0, std::max(rho * 0.5, ql / (ql + cap005)));
+}
+
+// NVMS_HOT: the damped fixed point over the compact SoA arrays.  Iterates
+// only the active lanes (write demand and alpha > 0); every other lane's
+// mem-time contribution is constant and pre-folded into `base`.  The max
+// folds are reassociated relative to the reference scalar loop, which is
+// bitwise safe here: every folded term is non-negative (zeros are always
+// +0.0), so max() is order-insensitive down to the bit pattern.  Returns
+// the converged duration T; *t_util_out gets the T the final iteration's
+// utilizations were computed from (the reference reports utilization from
+// the iteration *entry* T, not the converged T).
+double soa_fixed_point(ResolveScratch& sc, std::size_t na, double base,
+                       double compute_time, double overlap, double t0,
+                       double* t_util_out) {
+  double T = t0;
+  double t_util = t0;
+  for (int iter = 0; iter < 64; ++iter) {
+    t_util = T;
+    double tm = base;
+    for (std::size_t k = 0; k < na; ++k) {
+      const double demand_bw = (T > 0.0) ? sc.act_wbytes[k] / T : 0.0;
+      const double util =
+          wpq_utilization(demand_bw, sc.act_drain[k], sc.act_cap005[k]);
+      sc.act_util[k] = util;
+      const double target_f =
+          1.0 - sc.act_alpha[k] * std::pow(util, sc.act_gamma[k]);
+      const double f = 0.5 * sc.act_f[k] + 0.5 * std::max(target_f, 1e-3);
+      sc.act_f[k] = f;
+      const double tr = (f > 0.0) ? sc.act_rt[k] / f : 1e300;
+      tm = std::max(tm, std::max(tr, sc.act_ceil[k]));
+    }
+    double new_T;
+    if (overlap >= 1.0) {
+      new_T = std::max(compute_time, tm);
+    } else {
+      new_T = std::max(compute_time, tm) +
+              (1.0 - overlap) * std::min(compute_time, tm);
+    }
+    if (std::abs(new_T - T) < 1e-9 * std::max(1.0, T) && iter > 4) {
+      T = new_T;
+      break;
+    }
+    T = 0.5 * T + 0.5 * new_T;
+  }
+  *t_util_out = t_util;
+  return T;
+}
+
 }  // namespace
+
+void set_reference_kernels(bool on) {
+  g_reference_kernels.store(on, std::memory_order_relaxed);
+}
+
+bool use_reference_kernels() {
+  return kForceReference ||
+         g_reference_kernels.load(std::memory_order_relaxed);
+}
+
+void ResolveScratch::prepare(std::size_t lanes) {
+  if (lane_rt.size() >= lanes) return;
+  lane_rt.resize(lanes);
+  lane_wt.resize(lanes);
+  lane_util.resize(lanes);
+  lane_f.resize(lanes);
+  rcap.resize(lanes * kNumPatClasses);
+  wcap.resize(lanes * kNumPatClasses);
+  act_idx.resize(lanes);
+  act_rt.resize(lanes);
+  act_ceil.resize(lanes);
+  act_wbytes.resize(lanes);
+  act_drain.resize(lanes);
+  act_cap005.resize(lanes);
+  act_alpha.resize(lanes);
+  act_gamma.resize(lanes);
+  act_f.resize(lanes);
+  act_util.resize(lanes);
+  lazy_idx.resize(lanes);
+  lazy_wbytes.resize(lanes);
+  lazy_drain.resize(lanes);
+  lazy_cap005.resize(lanes);
+}
+
+void resolve_lanes_into(const Phase& phase,
+                        const std::vector<LaneDemand>& lanes,
+                        const CpuParams& cpu, double upi_bytes,
+                        double upi_bw, EpochProbe* probe, double epoch_t,
+                        ResolveScratch* scratch, MultiResolution* out) {
+  if (use_reference_kernels()) {
+    *out = resolve_lanes_reference(phase, lanes, cpu, upi_bytes, upi_bw,
+                                   probe, epoch_t);
+    return;
+  }
+  require(phase.threads >= 1, "phase must use at least one thread");
+  require(phase.mlp > 0.0, "phase mlp must be positive");
+  require(phase.overlap >= 0.0 && phase.overlap <= 1.0,
+          "phase overlap must be in [0,1]");
+  require(phase.parallel_fraction >= 0.0 && phase.parallel_fraction <= 1.0,
+          "phase parallel fraction must be in [0,1]");
+  require(upi_bytes == 0.0 || upi_bw > 0.0,
+          "cross-socket traffic needs a positive UPI bandwidth");
+
+  out->compute_time =
+      cpu.compute_time(phase.flops, phase.threads, phase.parallel_fraction);
+  // Memory concurrency clamps to the physical hardware-thread count:
+  // logical oversubscription adds no memory parallelism.  account_counters
+  // bills the same clamped count, so timing and counters agree at the
+  // boundary (the compute model applies the identical clamp internally).
+  const double threads_eff =
+      static_cast<double>(std::min(phase.threads, cpu.max_threads()));
+
+  ResolveScratch local;
+  ResolveScratch& sc = scratch != nullptr ? *scratch : local;
+  const std::size_t n = lanes.size();
+  sc.prepare(n);
+
+  // ---- setup: per-lane unthrottled times and fixed-point partition ----
+  //
+  // `base` accumulates every mem-time term that cannot change across
+  // iterations: the UPI link time, each lane's combined-bandwidth ceiling
+  // and write time, and the *read* time of every lane whose throttle is
+  // pinned at exactly 1.0.  A lane's throttle moves only when it has
+  // write demand (utilization(0, drain) == 0 identically) and a positive
+  // throttle_alpha — in both other cases target_f == 1.0 on every
+  // iteration, so f stays bit-exactly 1.0 and rt / f == rt.
+  const double upi_time = upi_bytes > 0.0 ? upi_bytes / upi_bw : 0.0;
+  double base = upi_time;
+  std::size_t na = 0;  // active lanes (fixed-point participants)
+  std::size_t nl = 0;  // lazy lanes (f == 1.0, util still reported)
+  for (std::size_t i = 0; i < n; ++i) {
+    const LaneDemand& lane = lanes[i];
+    NVMS_ASSERT(lane.dev != nullptr, "lane without a device");
+    const DeviceDemand& dem = lane.dem;
+    const DeviceParams& dev = *lane.dev;
+    const std::uint64_t rtot = dem.read_total();
+    const std::uint64_t wtot = dem.write_total();
+    if (rtot + wtot == 0) {
+      // Idle lane: contributes max(t, 0.0) to every mem_time fold — a
+      // no-op — and its outputs are the defaults.
+      sc.lane_rt[i] = 0.0;
+      sc.lane_wt[i] = 0.0;
+      sc.lane_util[i] = 0.0;
+      sc.lane_f[i] = 1.0;
+      continue;
+    }
+
+    // Per-class capacity tables: the PatClass switch in
+    // DeviceParams::{read,write}_capacity hoisted out of the byte loops.
+    // The products keep the reference association
+    // (peak * eff) * scaling.at(threads).
+    const double rscale = dev.read_scaling.at(threads_eff);
+    const double wscale = dev.write_scaling.at(threads_eff);
+    const double lat_bw = threads_eff * phase.mlp * 64.0 / dev.read_lat_rand;
+    double* rc = &sc.rcap[i * kNumPatClasses];
+    double* wc = &sc.wcap[i * kNumPatClasses];
+    rc[0] = dev.read_bw_peak * 1.0 * rscale;
+    rc[1] = dev.read_bw_peak * dev.strided_read_eff * rscale;
+    rc[2] = std::min(dev.read_bw_peak * dev.random_small_read_eff * rscale,
+                     lat_bw);
+    rc[3] = std::min(dev.read_bw_peak * dev.random_large_read_eff * rscale,
+                     lat_bw);
+    wc[0] = dev.write_bw_peak * 1.0 * wscale;
+    wc[1] = dev.write_bw_peak * dev.strided_write_eff * wscale;
+    wc[2] = dev.write_bw_peak * dev.random_small_write_eff * wscale;
+    wc[3] = dev.write_bw_peak * dev.random_large_write_eff * wscale;
+
+    double rt = 0.0;
+    double wt = 0.0;
+    for (std::size_t c = 0; c < kNumPatClasses; ++c) {
+      if (dem.read[c] != 0) {
+        NVMS_ASSERT(rc[c] > 0.0, "zero read capacity");
+        rt += static_cast<double>(dem.read[c]) / rc[c];
+      }
+      if (dem.write[c] != 0) {
+        NVMS_ASSERT(wc[c] > 0.0, "zero write capacity");
+        wt += static_cast<double>(dem.write[c]) / wc[c];
+      }
+    }
+    const double drain =
+        (wt > 0.0) ? static_cast<double>(wtot) / wt : wc[0];
+    sc.lane_rt[i] = rt;
+    sc.lane_wt[i] = wt;
+    // Reads and writes proceed concurrently, but share the channel
+    // budget: the combined ceiling binds when both directions are hot.
+    const double combined =
+        static_cast<double>(rtot + wtot) / dev.combined_bw_peak;
+    const double ceil = std::max(wt, combined);
+
+    if (wtot > 0 && dev.throttle_alpha > 0.0) {
+      sc.act_idx[na] = i;
+      sc.act_rt[na] = rt;
+      sc.act_ceil[na] = ceil;
+      sc.act_wbytes[na] = static_cast<double>(wtot);
+      sc.act_drain[na] = drain;
+      sc.act_cap005[na] =
+          static_cast<double>(std::max(dev.wpq_entries, 1)) * 0.05;
+      sc.act_alpha[na] = dev.throttle_alpha;
+      sc.act_gamma[na] = dev.throttle_gamma;
+      sc.act_f[na] = 1.0;
+      sc.act_util[na] = 0.0;
+      ++na;
+    } else {
+      // Pinned throttle: rt / 1.0 == rt exactly; fold the whole lane.
+      base = std::max(base, std::max(rt, ceil));
+      sc.lane_f[i] = 1.0;
+      sc.lane_util[i] = 0.0;
+      if (wtot > 0) {
+        // alpha == 0: the throttle never moves but the reported WPQ
+        // utilization still tracks T — computed once after convergence.
+        sc.lazy_idx[nl] = i;
+        sc.lazy_wbytes[nl] = static_cast<double>(wtot);
+        sc.lazy_drain[nl] = drain;
+        sc.lazy_cap005[nl] =
+            static_cast<double>(std::max(dev.wpq_entries, 1)) * 0.05;
+        ++nl;
+      }
+    }
+  }
+
+  // Initial duration: every throttle is 1.0, so the first mem_time is the
+  // static base folded with the active lanes' unthrottled terms.
+  double mem0 = base;
+  for (std::size_t k = 0; k < na; ++k) {
+    mem0 = std::max(mem0, std::max(sc.act_rt[k], sc.act_ceil[k]));
+  }
+  double t_util = 0.0;
+  const double T =
+      soa_fixed_point(sc, na, base, out->compute_time, phase.overlap,
+                      std::max(out->compute_time, mem0), &t_util);
+  out->time = T;
+
+  // Scatter converged state back to lane order; lazy utilizations come
+  // from the T the last iteration read, matching the reference exactly.
+  for (std::size_t k = 0; k < na; ++k) {
+    sc.lane_f[sc.act_idx[k]] = sc.act_f[k];
+    sc.lane_util[sc.act_idx[k]] = sc.act_util[k];
+  }
+  for (std::size_t k = 0; k < nl; ++k) {
+    const double demand_bw =
+        (t_util > 0.0) ? sc.lazy_wbytes[k] / t_util : 0.0;
+    sc.lane_util[sc.lazy_idx[k]] =
+        wpq_utilization(demand_bw, sc.lazy_drain[k], sc.lazy_cap005[k]);
+  }
+
+  out->lanes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceTiming& lane_out = out->lanes[i];
+    lane_out.read_time = sc.lane_rt[i];
+    lane_out.write_time = sc.lane_wt[i];
+    lane_out.wpq_util = sc.lane_util[i];
+    lane_out.throttle = sc.lane_f[i];
+    const std::uint64_t rtot = lanes[i].dem.read_total();
+    const std::uint64_t wtot = lanes[i].dem.write_total();
+    if (T > 0.0) {
+      lane_out.read_bw = static_cast<double>(rtot) / T;
+      lane_out.write_bw = static_cast<double>(wtot) / T;
+    } else {
+      lane_out.read_bw = 0.0;
+      lane_out.write_bw = 0.0;
+    }
+    // Epoch telemetry: the converged WPQ utilization and the throttle the
+    // fixed point actually applied — the internal signals behind the
+    // paper's write-throttling traces (Sec. IV-C), otherwise discarded.
+    if (probe != nullptr && rtot + wtot > 0) {
+      const char* label = lanes[i].label != nullptr
+                              ? lanes[i].label
+                              : lanes[i].dev->name.c_str();
+      probe->epoch_sample("wpq.util", label, epoch_t, sc.lane_util[i]);
+      probe->epoch_sample("throttle.read", label, epoch_t, sc.lane_f[i]);
+    }
+  }
+}
 
 MultiResolution resolve_lanes(const Phase& phase,
                               const std::vector<LaneDemand>& lanes,
                               const CpuParams& cpu, double upi_bytes,
                               double upi_bw, EpochProbe* probe,
-                              double epoch_t) {
+                              double epoch_t, ResolveScratch* scratch) {
+  MultiResolution res;
+  resolve_lanes_into(phase, lanes, cpu, upi_bytes, upi_bw, probe, epoch_t,
+                     scratch, &res);
+  return res;
+}
+
+MultiResolution resolve_lanes_reference(const Phase& phase,
+                                        const std::vector<LaneDemand>& lanes,
+                                        const CpuParams& cpu,
+                                        double upi_bytes, double upi_bw,
+                                        EpochProbe* probe, double epoch_t) {
   require(phase.threads >= 1, "phase must use at least one thread");
   require(phase.mlp > 0.0, "phase mlp must be positive");
   require(phase.overlap >= 0.0 && phase.overlap <= 1.0,
@@ -75,10 +375,6 @@ MultiResolution resolve_lanes(const Phase& phase,
   res.compute_time =
       cpu.compute_time(phase.flops, phase.threads, phase.parallel_fraction);
 
-  // Memory concurrency clamps to the physical hardware-thread count:
-  // logical oversubscription adds no memory parallelism.  account_counters
-  // bills the same clamped count, so timing and counters agree at the
-  // boundary (the compute model applies the identical clamp internally).
   const double threads_eff =
       static_cast<double>(std::min(phase.threads, cpu.max_threads()));
 
@@ -107,8 +403,6 @@ MultiResolution resolve_lanes(const Phase& phase,
     double t = upi_time;
     for (const auto& d : ds) {
       const double tr = (d.f > 0.0) ? d.rt / d.f : 1e300;
-      // Reads and writes proceed concurrently, but share the channel
-      // budget: the combined ceiling binds when both directions are hot.
       const double combined =
           static_cast<double>(d.dem->read_total() + d.dem->write_total()) /
           d.dev->combined_bw_peak;
@@ -158,9 +452,6 @@ MultiResolution resolve_lanes(const Phase& phase,
       out.read_bw = static_cast<double>(d.dem->read_total()) / T;
       out.write_bw = static_cast<double>(d.dem->write_total()) / T;
     }
-    // Epoch telemetry: the converged WPQ utilization and the throttle the
-    // fixed point actually applied — the internal signals behind the
-    // paper's write-throttling traces (Sec. IV-C), otherwise discarded.
     if (probe != nullptr &&
         d.dem->read_total() + d.dem->write_total() > 0) {
       const char* label = lanes[i].label != nullptr ? lanes[i].label

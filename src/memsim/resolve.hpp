@@ -80,6 +80,57 @@ struct MultiResolution {
   std::vector<DeviceTiming> lanes;
 };
 
+/// Reusable flat SoA state for the resolve_lanes() fixed point.  The
+/// solver splits the lanes into a compact *active* set (positive write
+/// demand and a positive throttle alpha — the only lanes whose state
+/// evolves across iterations) and folds everything else into constants,
+/// so the 64-iteration loop touches contiguous double arrays only.  A
+/// caller that owns one scratch per thread (MemorySystem does) makes the
+/// steady-state resolve completely allocation-free; passing nullptr falls
+/// back to a call-local scratch.
+///
+/// Layout invariant: per-lane arrays are indexed by lane position, the
+/// act_*/lazy_* arrays by compact slot; prepare() only ever grows, so a
+/// scratch can be shared across resolutions with different lane counts.
+struct ResolveScratch {
+  // Per-lane results, scattered back after convergence.
+  std::vector<double> lane_rt;    ///< unthrottled read time
+  std::vector<double> lane_wt;    ///< write time
+  std::vector<double> lane_util;  ///< converged WPQ utilization
+  std::vector<double> lane_f;     ///< converged read-throttle factor
+  // Per-lane, per-class capacity tables ([lane * kNumPatClasses + class]),
+  // the hoisted form of DeviceParams::{read,write}_capacity dispatch.
+  std::vector<double> rcap;
+  std::vector<double> wcap;
+  // Compact active set: lanes iterated by the fixed point.
+  std::vector<std::size_t> act_idx;
+  std::vector<double> act_rt;      ///< unthrottled read time
+  std::vector<double> act_ceil;    ///< max(write time, combined ceiling)
+  std::vector<double> act_wbytes;  ///< write demand, bytes
+  std::vector<double> act_drain;   ///< WPQ drain capacity
+  std::vector<double> act_cap005;  ///< wpq_entries * 0.05, precomputed
+  std::vector<double> act_alpha;
+  std::vector<double> act_gamma;
+  std::vector<double> act_f;
+  std::vector<double> act_util;
+  // Lazy set: write demand but alpha == 0 — the throttle stays exactly
+  // 1.0, so their utilization is computed once post-convergence.
+  std::vector<std::size_t> lazy_idx;
+  std::vector<double> lazy_wbytes;
+  std::vector<double> lazy_drain;
+  std::vector<double> lazy_cap005;
+
+  /// Grow every array to hold `lanes` lanes (never shrinks).
+  void prepare(std::size_t lanes);
+};
+
+/// Runtime switch routing resolve_lanes() and the DramCache sampled walk
+/// through the pre-SoA reference kernels (the bit-exact oracles kept for
+/// the `kernels` parity suite and the bench self-measured speedup).
+/// Compiling with -DNVMS_REFERENCE_KERNELS pins it on permanently.
+void set_reference_kernels(bool on);
+bool use_reference_kernels();
+
 /// General N-lane resolution: every lane is resolved under the same fixed
 /// point as resolve_phase; `upi_bytes` crossing the socket interconnect
 /// add a shared-link constraint time >= upi_bytes / upi_bw.  When `probe`
@@ -99,7 +150,30 @@ MultiResolution resolve_lanes(const Phase& phase,
                               const CpuParams& cpu, double upi_bytes = 0.0,
                               double upi_bw = 0.0,
                               EpochProbe* probe = nullptr,
-                              double epoch_t = 0.0);
+                              double epoch_t = 0.0,
+                              ResolveScratch* scratch = nullptr);
+
+/// Allocation-free variant: writes the resolution into `*out`, reusing its
+/// lanes vector's capacity, and runs the fixed point on `*scratch` (both
+/// may be reused across calls).  resolve_lanes() is a thin wrapper.
+void resolve_lanes_into(const Phase& phase,
+                        const std::vector<LaneDemand>& lanes,
+                        const CpuParams& cpu, double upi_bytes,
+                        double upi_bw, EpochProbe* probe, double epoch_t,
+                        ResolveScratch* scratch, MultiResolution* out);
+
+/// The pre-SoA scalar solver, kept verbatim as the bit-exact oracle for
+/// the `kernels` parity suite (tests/test_resolve_soa) and as the
+/// "pre-PR kernel" baseline the benches self-measure against.  Routed to
+/// by resolve_lanes() under set_reference_kernels(true) or a
+/// -DNVMS_REFERENCE_KERNELS build.
+MultiResolution resolve_lanes_reference(const Phase& phase,
+                                        const std::vector<LaneDemand>& lanes,
+                                        const CpuParams& cpu,
+                                        double upi_bytes = 0.0,
+                                        double upi_bw = 0.0,
+                                        EpochProbe* probe = nullptr,
+                                        double epoch_t = 0.0);
 
 PhaseResolution resolve_phase(const Phase& phase, const DeviceDemand& dram_dem,
                               const DeviceDemand& nvm_dem,

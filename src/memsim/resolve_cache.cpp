@@ -120,6 +120,16 @@ ResolveKey make_resolve_key(const Phase& phase,
                             const CpuParams& cpu, double upi_bytes,
                             double upi_bw) {
   ResolveKey key;
+  make_resolve_key_into(phase, lanes, cpu, upi_bytes, upi_bw, &key);
+  return key;
+}
+
+void make_resolve_key_into(const Phase& phase,
+                           const std::vector<LaneDemand>& lanes,
+                           const CpuParams& cpu, double upi_bytes,
+                           double upi_bw, ResolveKey* out) {
+  ResolveKey& key = *out;
+  key.clear();
   // Phase timing fields, normalized: concurrency clamps to the physical
   // hardware-thread count exactly as the resolver bills it, so phases at
   // max_threads and beyond share one entry.  `name` and `streams` never
@@ -151,7 +161,6 @@ ResolveKey make_resolve_key(const Phase& phase,
                                               : nullptr));
     if (lane.dev != nullptr) add_device(key, *lane.dev);
   }
-  return key;
 }
 
 MultiResolution ResolveCache::resolve(const Phase& phase,
@@ -182,6 +191,41 @@ MultiResolution ResolveCache::resolve(const Phase& phase,
                     epoch_t);
   insert(key, CachedResolution{multi, recorder.take()});
   return multi;
+}
+
+void ResolveCache::resolve_into(const Phase& phase,
+                                const std::vector<LaneDemand>& lanes,
+                                const CpuParams& cpu, double upi_bytes,
+                                double upi_bw, EpochProbe* probe,
+                                double epoch_t, ResolveScratch* scratch,
+                                ResolveKey* key, MultiResolution* out) {
+  make_resolve_key_into(phase, lanes, cpu, upi_bytes, upi_bw, key);
+  const bool hit = lookup_with(*key, [&](const CachedResolution& cached) {
+    // Copy into the caller's storage under the shard lock (lanes.assign
+    // reuses capacity — no allocation in steady state) and replay the
+    // recorded epoch samples re-stamped at the current virtual time:
+    // identical stream to what resolve_lanes() would emit now.  The probe
+    // never touches the memo, so emitting under the lock is safe, and
+    // probes are only attached on telemetry runs — the hot sweep path
+    // passes nullptr.
+    out->time = cached.multi.time;
+    out->compute_time = cached.multi.compute_time;
+    out->lanes.assign(cached.multi.lanes.begin(), cached.multi.lanes.end());
+    if (probe != nullptr) {
+      for (const auto& sample : cached.samples) {
+        probe->epoch_sample(sample.name, sample.device, epoch_t,
+                            sample.value);
+      }
+    }
+  });
+  if (hit) return;
+  // Miss: run the fixed point once, recording its samples even when no
+  // probe is attached — a later hit may have telemetry and must still see
+  // the full stream (the byte-identical-replay invariant).
+  RecordingProbe recorder(probe);
+  resolve_lanes_into(phase, lanes, cpu, upi_bytes, upi_bw, &recorder,
+                     epoch_t, scratch, out);
+  insert(*key, CachedResolution{*out, recorder.take()});
 }
 
 }  // namespace nvms

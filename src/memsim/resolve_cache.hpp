@@ -86,6 +86,13 @@ class ResolveKey {
   }
   void add_double(double v);  ///< bit pattern; -0.0 normalized to +0.0
 
+  /// Reset to the empty key, keeping the word storage's capacity — lets a
+  /// hot loop rebuild keys allocation-free.
+  void clear() {
+    words_.clear();
+    hash_ = kFnvOffset;
+  }
+
   std::uint64_t hash() const { return hash_; }
   const std::vector<std::uint64_t>& words() const { return words_; }
 
@@ -110,6 +117,13 @@ ResolveKey make_resolve_key(const Phase& phase,
                             const std::vector<LaneDemand>& lanes,
                             const CpuParams& cpu, double upi_bytes,
                             double upi_bw);
+
+/// Allocation-free variant: clears `*out` (capacity kept) and appends the
+/// same word sequence.  make_resolve_key() is a thin wrapper.
+void make_resolve_key_into(const Phase& phase,
+                           const std::vector<LaneDemand>& lanes,
+                           const CpuParams& cpu, double upi_bytes,
+                           double upi_bw, ResolveKey* out);
 
 /// Monotonic cache statistics snapshot.
 struct ResolveCacheStats {
@@ -164,6 +178,25 @@ class ShardedMemo {
     }
     ++s.hits;
     if (out != nullptr) *out = it->second;
+    return true;
+  }
+
+  /// Hit-callback lookup: on a hit, invokes `fn(value)` under the shard
+  /// lock instead of copying the value out.  Lets a caller with reusable
+  /// scratch copy only what it needs (e.g. into preallocated buffers)
+  /// without paying a full Value copy per hit.  `fn` must not re-enter the
+  /// memo (the shard mutex is held).
+  template <typename Fn>
+  bool lookup_with(const ResolveKey& key, Fn&& fn) const {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return false;
+    }
+    ++s.hits;
+    fn(it->second);
     return true;
   }
 
@@ -279,6 +312,17 @@ class ResolveCache : public ShardedMemo<CachedResolution> {
                           const std::vector<LaneDemand>& lanes,
                           const CpuParams& cpu, double upi_bytes,
                           double upi_bw, EpochProbe* probe, double epoch_t);
+
+  /// Allocation-free variant for the epoch hot path: the key is rebuilt
+  /// into `*key` (capacity reused), a hit copies the cached resolution
+  /// into `out->lanes`' existing storage under the shard lock, and a miss
+  /// runs the SoA fixed point on `*scratch` via resolve_lanes_into().
+  /// Same results and telemetry stream as resolve(), byte for byte.
+  void resolve_into(const Phase& phase, const std::vector<LaneDemand>& lanes,
+                    const CpuParams& cpu, double upi_bytes, double upi_bw,
+                    EpochProbe* probe, double epoch_t,
+                    ResolveScratch* scratch, ResolveKey* key,
+                    MultiResolution* out);
 
   StreamMemo& streams() { return streams_; }
   const StreamMemo& streams() const { return streams_; }

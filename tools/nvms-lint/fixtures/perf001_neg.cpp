@@ -1,0 +1,27 @@
+// Fixture: PERF-001 negative — an NVMS_HOT kernel running entirely on
+// member scratch, with allocations confined to un-annotated setup.
+#include <cstdint>
+#include <vector>
+
+struct Scratch {
+  std::vector<double> lanes;
+  // Cold path: growth happens before the kernel runs.
+  void prepare(std::size_t n) {
+    if (lanes.size() < n) lanes.resize(n);
+  }
+};
+
+// NVMS_HOT declaration only (no body): nothing to scan here.
+double hot_kernel(Scratch& sc, int n);
+
+// NVMS_HOT: steady-state kernel — reads and writes pre-sized scratch,
+// stack locals only.  Mentioning push_back or new in a comment is fine.
+double hot_kernel(Scratch& sc, int n) {
+  double acc = 0.0;
+  double window[8] = {0.0};
+  for (int i = 0; i < n; ++i) {
+    window[i & 7] = sc.lanes[static_cast<std::size_t>(i) % sc.lanes.size()];
+    acc += window[i & 7];
+  }
+  return acc;
+}

@@ -1,0 +1,32 @@
+// Fixture: PERF-001 positive — allocation inside an NVMS_HOT kernel.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+struct Scratch {
+  std::vector<double> lanes;
+};
+
+// NVMS_HOT: the per-epoch kernel; its steady state must not allocate.
+double hot_kernel(Scratch& sc, int n) {
+  std::vector<double> local;
+  local.reserve(static_cast<std::size_t>(n));    // finding: reserve
+  for (int i = 0; i < n; ++i) {
+    local.push_back(static_cast<double>(i));     // finding: push_back
+  }
+  sc.lanes.resize(static_cast<std::size_t>(n));  // finding: resize
+  auto owned = std::make_unique<double[]>(16);   // finding: make_unique
+  void* raw = std::malloc(64);                   // finding: malloc
+  std::free(raw);
+  const auto nested = [&] {
+    sc.lanes.emplace_back(1.0);                  // finding: emplace_back
+  };
+  nested();
+  return local.empty() ? owned[0] : local.back();
+}
+
+// Not annotated: the same idioms outside an NVMS_HOT body are fine here
+// (HYG-001 and friends police the rest of the tree).
+void cold_setup(Scratch& sc, int n) {
+  sc.lanes.resize(static_cast<std::size_t>(n));
+}

@@ -23,6 +23,7 @@
 //   OBS-001  metric name literals must match tools/nvms-lint/metric_schema.txt
 //   HYG-001  no raw new/delete in src/
 //   HYG-002  no catch (...) that swallows without rethrow/record in src/
+//   PERF-001 no heap allocation inside `// NVMS_HOT` kernels (src/memsim/)
 //   SUP-001  malformed NVMS_LINT suppression (missing reason) — the
 //            machinery polices itself
 //
@@ -112,6 +113,7 @@ struct Config {
   std::vector<std::string> wallclock_whitelist = {
       "src/obs/",
       "src/harness/executor",
+      "src/harness/kernel_bench",  // replay timing is the deliverable
   };
   /// DET-003 scope: export/report/CSV paths where iteration order becomes
   /// bytes in a deliverable.
@@ -123,6 +125,9 @@ struct Config {
   };
   /// OBS-001 / HYG-00x scope: production sources only.
   std::vector<std::string> src_paths = {"src/"};
+  /// PERF-001 scope: the epoch-kernel hot path, where `// NVMS_HOT`
+  /// functions must stay allocation-free in steady state.
+  std::vector<std::string> hot_paths = {"src/memsim/"};
 
   bool rule_enabled(const std::string& id) const;
 };

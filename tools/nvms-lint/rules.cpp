@@ -360,6 +360,60 @@ void run_hyg001(const std::vector<Token>& toks, const std::string& file,
 }
 
 // ---------------------------------------------------------------------------
+// PERF-001 — heap allocation in `// NVMS_HOT` functions
+
+// The epoch kernels (src/memsim/) are annotated `// NVMS_HOT`; their
+// steady state must be allocation-free — per-epoch scratch lives in
+// member arenas, not in the kernel.  The rule scans from the annotation
+// to the end of the next balanced-brace body and flags allocation idioms
+// (operator new, C allocators, make_unique/make_shared, and growing
+// container calls) anywhere inside, nested lambdas included.
+void run_perf001(const std::vector<Token>& toks, const std::string& file,
+                 std::vector<Finding>* out) {
+  static const std::set<std::string> kAllocIdioms = {
+      "new",       "malloc",      "calloc",      "realloc",    "make_unique",
+      "make_shared", "push_back", "emplace_back", "resize",    "reserve"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // The annotation is a comment *starting* with NVMS_HOT ("// NVMS_HOT:
+    // ..."); prose that merely mentions the marker does not arm the rule.
+    if (toks[i].kind != TokKind::kComment) continue;
+    const std::size_t first = toks[i].text.find_first_not_of(" \t");
+    if (first == std::string::npos ||
+        toks[i].text.compare(first, 8, "NVMS_HOT") != 0) {
+      continue;
+    }
+    // The annotated function's body opens at the next top-level '{'; a
+    // ';' first means the annotation sits on a declaration (no body to
+    // scan here — the definition carries its own annotation).
+    std::size_t open = next_code(toks, i + 1);
+    while (open < toks.size() && !is_punct(toks[open], "{") &&
+           !is_punct(toks[open], ";")) {
+      open = next_code(toks, open + 1);
+    }
+    if (open >= toks.size() || is_punct(toks[open], ";")) continue;
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "{")) {
+        ++depth;
+      } else if (is_punct(t, "}")) {
+        if (--depth == 0) {
+          i = j;
+          break;
+        }
+      } else if (t.kind == TokKind::kIdent && kAllocIdioms.count(t.text) &&
+                 !(t.text == "new" &&
+                   is_ident(toks[prev_code(toks, j)], "operator"))) {
+        add_finding(out, "PERF-001", file, t.line,
+                    "`" + t.text +
+                        "` can allocate inside an NVMS_HOT kernel; hoist "
+                        "the buffer into a member scratch arena");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // HYG-002 — swallowing catch (...)
 
 void run_hyg002(const std::vector<Token>& toks, const std::string& file,
@@ -524,6 +578,7 @@ const std::vector<RuleInfo>& all_rules() {
       {"OBS-001", "metric name literals must match metric_schema.txt"},
       {"HYG-001", "no raw new/delete in src/"},
       {"HYG-002", "no catch (...) that swallows without rethrow/record"},
+      {"PERF-001", "no heap allocation in NVMS_HOT kernels (src/memsim/)"},
       {"SUP-001", "NVMS_LINT suppressions must name a rule and a reason"},
   };
   return kRules;
@@ -563,6 +618,9 @@ std::vector<Finding> lint_source(const std::string& path,
   }
   if (config.rule_enabled("HYG-001") && in_src) run_hyg001(toks, path, &raw);
   if (config.rule_enabled("HYG-002") && in_src) run_hyg002(toks, path, &raw);
+  const bool in_hot =
+      config.all_paths || path_matches_any(path, config.hot_paths);
+  if (config.rule_enabled("PERF-001") && in_hot) run_perf001(toks, path, &raw);
 
   for (Finding& f : raw) {
     bool suppressed = false;

@@ -121,6 +121,7 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"OBS-001", "obs001_pos.cpp", 3, "obs001_neg.cpp"},
         FixtureCase{"HYG-001", "hyg001_pos.cpp", 4, "hyg001_neg.cpp"},
         FixtureCase{"HYG-002", "hyg002_pos.cpp", 1, "hyg002_neg.cpp"},
+        FixtureCase{"PERF-001", "perf001_pos.cpp", 6, "perf001_neg.cpp"},
         FixtureCase{"SUP-001", "sup001_pos.cpp", 2, "sup001_neg.cpp"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
       std::string name = param_info.param.rule;
