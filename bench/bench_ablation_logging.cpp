@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/registry.hpp"
+#include "obs/analyze/profile.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/table.hpp"
 
@@ -106,6 +107,32 @@ int main() {
                std::to_string(cells[i].points)});
   }
   std::printf("%s\n", t.render().c_str());
+
+  // Attribution cost: what the obs/analyze pass adds on top of a full
+  // capture.  Timed outside the ablation loop so the off-vs-null-sink
+  // comparison above is exactly what it always was.
+  {
+    Telemetry telemetry(Telemetry::Capture::kFull);
+    (void)run_once(&telemetry);
+    const AnalyzeContext ctx =
+        analyze_context(SystemConfig::testbed(Mode::kCachedNvm), kApp);
+    double best_s = 0.0;
+    const char* verdict = "";
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = Clock::now();
+      const RunProfile profile = build_run_profile(telemetry, ctx);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0 || s < best_s) best_s = s;
+      verdict = to_string(profile.verdict.cls);
+    }
+    const double share =
+        cells[2].best_s > 0.0 ? 100.0 * best_s / cells[2].best_s : 0.0;
+    std::printf(
+        "analyze: build_run_profile on the full capture -> %s in %s "
+        "(best of %d; %.2f%% of the full-capture run)\n",
+        verdict, format_time(best_s).c_str(), kReps, share);
+  }
 
   const double null_ovh =
       base > 0.0 ? 100.0 * (cells[1].best_s / base - 1.0) : 0.0;

@@ -15,6 +15,8 @@
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
 #include "mem/space.hpp"
+#include "obs/analyze/diff.hpp"
+#include "obs/analyze/profile.hpp"
 #include "obs/export.hpp"
 #include "placement/trace_optimizer.hpp"
 #include "placement/write_aware.hpp"
@@ -64,7 +66,20 @@ commands:
                             exports are byte-identical either way)
   inspect <app>             run once with telemetry and summarize it
       --mode M --threads N --scale S --iters K
+      --format human|json   byte-stable sorted-key JSON for scripts
       --trace-out FILE --metrics-out FILE --jsonl FILE
+  explain <app|trace>       bottleneck attribution: why is this slow
+      --mode M --threads N --scale S
+      --jobs N              (app form; output byte-identical for any N)
+      --resolve-cache[=off|run|shared]   (output byte-identical either way)
+      --format human|json|csv            (default human)
+      --metrics-out FILE    analyze.* gauges as Prometheus exposition text
+  diff <a> <b>              explain what changed between two runs/traces
+      --mode M --threads N --scale S --jobs N
+      --mode-a M --mode-b M per-side mode override (compare modes)
+      --resolve-cache[=off|run|shared]
+      --format human|json                (default human)
+      --metrics-out FILE    diff.* gauges as Prometheus exposition text
   profile <app>             data-centric profile + write-aware plan
       --threads N --scale S
       --budget PCT          DRAM budget percent        (default 35)
@@ -409,16 +424,20 @@ int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
     err << "inspect: unknown mode\n";
     return 2;
   }
+  const std::string format = opt.get("format", "human");
+  if (format != "human" && format != "json") {
+    err << "inspect: unknown --format '" << format << "' (want human|json)\n";
+    return 2;
+  }
   const AppConfig cfg = config_from(opt);
+  const SystemConfig sys_cfg = SystemConfig::testbed(*mode);
   Telemetry telemetry;
-  const AppResult r =
-      run_app_on(app, SystemConfig::testbed(*mode), cfg, &telemetry);
+  const AppResult r = run_app_on(app, sys_cfg, cfg, &telemetry);
+  const RunProfile profile =
+      build_run_profile(telemetry, analyze_context(sys_cfg, app));
 
   const auto& spans = telemetry.tracer().spans();
   const auto& metrics = telemetry.metrics().metrics();
-  out << app << " (" << r.mode << "): " << format_time(r.runtime) << ", "
-      << spans.size() << " span(s), " << metrics.size()
-      << " metric stream(s)\n\n";
 
   // Span taxonomy, aggregated by (category, name) in first-seen order.
   struct SpanAgg {
@@ -442,35 +461,82 @@ int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
     a.count += 1;
     a.total_s += s.t1 - s.t0;
   }
-  TextTable ts({"span", "category", "depth", "count", "sim time"});
-  for (const auto& a : agg) {
-    ts.add_row({a.name, a.category, std::to_string(a.depth),
-                std::to_string(a.count), format_time(a.total_s)});
-  }
-  out << ts.render();
 
-  TextTable tm({"metric", "labels", "kind", "points", "value", "min", "max"});
-  for (const auto& m : metrics) {
-    std::string points = std::to_string(
-        m.kind == MetricKind::kHistogram ? m.count : m.series.size());
-    // Counters/gauges show their final value; histograms their mean.
-    const double value =
-        m.kind == MetricKind::kHistogram ? m.mean() : m.value;
-    const bool stats = m.count > 0;
-    tm.add_row({m.name, m.labels, to_string(m.kind), points,
-                TextTable::num(value, 4),
-                stats ? TextTable::num(m.min, 4) : "-",
-                stats ? TextTable::num(m.max, 4) : "-"});
-  }
-  out << "\n" << tm.render();
+  if (format == "json") {
+    // Machine form: sorted keys, stable field set — byte-stable for CI.
+    Json j;
+    j.set("app", app)
+        .set("mode", r.mode)
+        .set("runtime_s", r.runtime)
+        .set("span_count", spans.size())
+        .set("metric_count", metrics.size());
+    Json jspans = Json::array();
+    for (const auto& a : agg) {
+      Json js;
+      js.set("name", a.name)
+          .set("category", a.category)
+          .set("depth", a.depth)
+          .set("count", a.count)
+          .set("total_s", a.total_s);
+      jspans.push(std::move(js));
+    }
+    j.set("spans", std::move(jspans));
+    Json jmetrics = Json::array();
+    for (const auto& m : metrics) {
+      Json jm;
+      jm.set("name", m.name)
+          .set("labels", m.labels)
+          .set("kind", to_string(m.kind))
+          .set("points", m.kind == MetricKind::kHistogram ? m.count
+                                                          : m.series.size())
+          .set("value",
+               m.kind == MetricKind::kHistogram ? m.mean() : m.value);
+      if (m.count > 0) jm.set("min", m.min).set("max", m.max);
+      jmetrics.push(std::move(jm));
+    }
+    j.set("metrics", std::move(jmetrics));
+    j.set("profile", run_profile_json(profile));
+    j.sort_keys();
+    out << j.dump(2) << "\n";
+  } else {
+    out << app << " (" << r.mode << "): " << format_time(r.runtime) << ", "
+        << spans.size() << " span(s), " << metrics.size()
+        << " metric stream(s)\n\n";
+    TextTable ts({"span", "category", "depth", "count", "sim time"});
+    for (const auto& a : agg) {
+      ts.add_row({a.name, a.category, std::to_string(a.depth),
+                  std::to_string(a.count), format_time(a.total_s)});
+    }
+    out << ts.render();
 
+    TextTable tm(
+        {"metric", "labels", "kind", "points", "value", "min", "max"});
+    for (const auto& m : metrics) {
+      std::string points = std::to_string(
+          m.kind == MetricKind::kHistogram ? m.count : m.series.size());
+      // Counters/gauges show their final value; histograms their mean.
+      const double value =
+          m.kind == MetricKind::kHistogram ? m.mean() : m.value;
+      const bool stats = m.count > 0;
+      tm.add_row({m.name, m.labels, to_string(m.kind), points,
+                  TextTable::num(value, 4),
+                  stats ? TextTable::num(m.min, 4) : "-",
+                  stats ? TextTable::num(m.max, 4) : "-"});
+    }
+    out << "\n" << tm.render();
+    out << "\n" << render_run_profile(profile);
+  }
+
+  // File-export confirmations go to stderr in JSON mode so stdout stays a
+  // single parseable document.
+  std::ostream& note = format == "json" ? err : out;
   const std::string trace_out = opt.get("trace-out", "");
   if (!trace_out.empty()) {
     if (!write_file(trace_out, chrome_trace_json(telemetry, app), err,
                     "inspect")) {
       return 1;
     }
-    out << "\ntrace written to " << trace_out << "\n";
+    note << "\ntrace written to " << trace_out << "\n";
   }
   const std::string metrics_out = opt.get("metrics-out", "");
   if (!metrics_out.empty()) {
@@ -478,7 +544,7 @@ int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
                     "inspect")) {
       return 1;
     }
-    out << "metrics written to " << metrics_out << "\n";
+    note << "metrics written to " << metrics_out << "\n";
   }
   const std::string jsonl_out = opt.get("jsonl", "");
   if (!jsonl_out.empty()) {
@@ -486,7 +552,7 @@ int cmd_inspect(const Options& opt, std::ostream& out, std::ostream& err) {
                     "inspect")) {
       return 1;
     }
-    out << "jsonl written to " << jsonl_out << "\n";
+    note << "jsonl written to " << jsonl_out << "\n";
   }
   return 0;
 }
@@ -647,6 +713,136 @@ bool is_registered_app(const std::string& name) {
   return false;
 }
 
+// Resolve an `explain`/`diff` target — a saved `nvmstrace v1` recording
+// or a registered application name — into a RunProfile.  The app form
+// routes through run_sweep (a 1-cell grid honoring --jobs and
+// --resolve-cache), so the profile is grid-order deterministic: output is
+// byte-identical for any jobs count and any resolve-cache mode.  The
+// trace form replays the recording once with telemetry attached.
+std::optional<RunProfile> profile_of_target(const std::string& target,
+                                            const Options& opt,
+                                            std::ostream& err,
+                                            const char* cmd,
+                                            const char* mode_opt = "mode") {
+  const auto mode =
+      parse_mode(opt.get(mode_opt, opt.get("mode", "uncached-nvm")));
+  if (!mode) {
+    err << cmd << ": unknown mode\n";
+    return std::nullopt;
+  }
+  const auto cache_mode = cache_mode_from(opt, err, cmd);
+  if (!cache_mode) return std::nullopt;
+
+  std::ifstream f(target);
+  if (f) {
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const auto rec = PhaseRecording::load(buf.str());
+    const SystemConfig sys_cfg = SystemConfig::testbed(*mode);
+    MemorySystem sys(sys_cfg);
+    Telemetry telemetry;
+    sys.set_telemetry(&telemetry);
+    std::optional<ResolveCache> cache;
+    if (*cache_mode != ResolveCacheMode::kOff) {
+      cache.emplace(/*shards=*/1);
+      sys.set_resolve_cache(&*cache);
+    }
+    (void)rec.replay(sys);
+    return build_run_profile(telemetry, analyze_context(sys_cfg, target));
+  }
+  if (!is_registered_app(target)) {
+    err << cmd << ": '" << target
+        << "' is neither a readable trace file nor a registered "
+           "application\n";
+    return std::nullopt;
+  }
+  SweepSpec spec;
+  spec.app = target;
+  spec.modes = {*mode};
+  spec.threads = {static_cast<int>(opt.get_int("threads", 36))};
+  spec.scales = {opt.get_double("scale", 1.0)};
+  spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
+  spec.telemetry = true;
+  spec.resolve_cache = *cache_mode;
+  const auto result = run_sweep(spec);
+  if (result.rows.empty()) {
+    err << cmd << ": configuration skipped"
+        << (result.skipped.empty() ? ""
+                                   : ": " + result.skipped.front().reason)
+        << "\n";
+    return std::nullopt;
+  }
+  return sweep_profile(result, target);
+}
+
+int cmd_explain(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().empty()) {
+    err << "explain: missing application name or trace file\n";
+    return 2;
+  }
+  const auto profile =
+      profile_of_target(opt.positional()[0], opt, err, "explain");
+  if (!profile) return 2;
+  const std::string format = opt.get("format", "human");
+  if (format == "human") {
+    out << render_run_profile(*profile);
+  } else if (format == "json") {
+    out << run_profile_json(*profile).dump(2) << "\n";
+  } else if (format == "csv") {
+    out << run_profile_csv(*profile);
+  } else {
+    err << "explain: unknown --format '" << format
+        << "' (want human|json|csv)\n";
+    return 2;
+  }
+  const std::string metrics_out = opt.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Telemetry summary;
+    publish_run_profile(*profile, summary.metrics());
+    if (!write_file(metrics_out, prometheus_text(summary, profile->run),
+                    err, "explain")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional().size() < 2) {
+    err << "diff: need two applications or trace files\n";
+    return 2;
+  }
+  // Each side may override the shared --mode (e.g. `diff hypre hypre
+  // --mode-a cached-nvm --mode-b uncached-nvm` asks why Memory mode and
+  // App-Direct diverge on the same application).
+  const auto a =
+      profile_of_target(opt.positional()[0], opt, err, "diff", "mode-a");
+  if (!a) return 2;
+  const auto b =
+      profile_of_target(opt.positional()[1], opt, err, "diff", "mode-b");
+  if (!b) return 2;
+  const RunDiff d = diff_profiles(*a, *b);
+  const std::string format = opt.get("format", "human");
+  if (format == "human") {
+    out << render_run_diff(d);
+  } else if (format == "json") {
+    out << run_diff_json(d).dump(2) << "\n";
+  } else {
+    err << "diff: unknown --format '" << format << "' (want human|json)\n";
+    return 2;
+  }
+  const std::string metrics_out = opt.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Telemetry summary;
+    publish_run_diff(d, summary.metrics());
+    if (!write_file(metrics_out, prometheus_text(summary, d.a + "-vs-" + d.b),
+                    err, "diff")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_optimize(const Options& opt, std::ostream& out, std::ostream& err) {
   if (opt.positional().empty()) {
     err << "optimize: missing application name or trace file\n";
@@ -750,6 +946,10 @@ int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
       rc = cmd_sweep(opt, out, err);
     } else if (cmd == "inspect") {
       rc = cmd_inspect(opt, out, err);
+    } else if (cmd == "explain") {
+      rc = cmd_explain(opt, out, err);
+    } else if (cmd == "diff") {
+      rc = cmd_diff(opt, out, err);
     } else if (cmd == "profile") {
       rc = cmd_profile(opt, out, err);
     } else if (cmd == "record") {

@@ -166,4 +166,43 @@ std::string sweep_telemetry_jsonl(const SweepResult& result) {
   return telemetry_jsonl(result.parts());
 }
 
+std::string sweep_prometheus(const SweepResult& result) {
+  return prometheus_text(result.parts());
+}
+
+namespace {
+
+/// Recover the mode from a sweep cell label ("mode/threads/scale").
+Mode mode_from_label(const std::string& label) {
+  const std::size_t slash = label.find('/');
+  const std::string head =
+      slash == std::string::npos ? label : label.substr(0, slash);
+  for (const Mode m :
+       {Mode::kDramOnly, Mode::kCachedNvm, Mode::kUncachedNvm}) {
+    if (head == to_string(m)) return m;
+  }
+  return Mode::kDramOnly;
+}
+
+}  // namespace
+
+std::vector<RunProfile> sweep_profiles(const SweepResult& result) {
+  std::vector<RunProfile> out;
+  const std::size_t n =
+      std::min(result.telemetry.size(), result.telemetry_labels.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.telemetry[i] == nullptr) continue;
+    const std::string& label = result.telemetry_labels[i];
+    const SystemConfig sys = SystemConfig::testbed(mode_from_label(label));
+    out.push_back(
+        build_run_profile(*result.telemetry[i], analyze_context(sys, label)));
+  }
+  return out;
+}
+
+RunProfile sweep_profile(const SweepResult& result, const std::string& run) {
+  return merge_profiles(sweep_profiles(result), run);
+}
+
 }  // namespace nvms

@@ -14,6 +14,7 @@
 #include "appfw/app.hpp"
 #include "harness/executor.hpp"
 #include "memsim/memory_system.hpp"
+#include "obs/analyze/profile.hpp"
 
 namespace nvms {
 
@@ -107,5 +108,20 @@ std::string sweep_metrics_csv(const SweepResult& result);
 /// Merged JSONL telemetry (one span/point object per line) over the
 /// sweep's telemetry parts, in grid order.
 std::string sweep_telemetry_jsonl(const SweepResult& result);
+
+/// Merged Prometheus text exposition over the sweep's telemetry parts,
+/// in grid order (byte-identical for any jobs count).
+std::string sweep_prometheus(const SweepResult& result);
+
+/// Per-cell bottleneck attribution over the sweep's telemetry parts, in
+/// grid order: each cell is scored against its own mode's testbed device
+/// peaks (the cell label "mode/threads/scale" carries the mode).
+/// Requires the sweep to have run with `telemetry = true`.
+std::vector<RunProfile> sweep_profiles(const SweepResult& result);
+
+/// The grid-merged RunProfile (phases aligned by name across cells,
+/// verdicts re-scored on the merged signals), labeled `run`.  Grid-order
+/// deterministic: byte-identical rendering for any jobs count.
+RunProfile sweep_profile(const SweepResult& result, const std::string& run);
 
 }  // namespace nvms

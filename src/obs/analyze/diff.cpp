@@ -1,0 +1,265 @@
+#include "obs/analyze/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/table.hpp"
+
+namespace nvms {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+/// Runtime deltas below this fraction of the larger run are noise and get
+/// no moved-signal attribution.
+constexpr double kDeltaFloor = 1e-6;
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Signals scanned for movement, in fixed priority order (the tiebreak
+/// when two signals moved equally).  Bounded ratios ([0,1] signals)
+/// compare by absolute movement; rate signals by relative movement, so
+/// the two kinds rank on a comparable [0,1] scale.
+struct SignalDef {
+  const char* name;
+  double PhaseSignals::* field;
+  bool bounded;
+};
+constexpr SignalDef kSignals[] = {
+    {"wpq.util", &PhaseSignals::nvm_wpq_util, true},
+    {"throttle.read", &PhaseSignals::nvm_throttle, true},
+    {"cache.conflict_rate", &PhaseSignals::cache_conflict, true},
+    {"bw.util", &PhaseSignals::bw_util, true},
+    {"mem.share", &PhaseSignals::mem_share, true},
+    {"bw.nvm.read_gbs", &PhaseSignals::nvm_read_gbs, false},
+    {"bw.nvm.write_gbs", &PhaseSignals::nvm_write_gbs, false},
+    {"bw.dram.read_gbs", &PhaseSignals::dram_read_gbs, false},
+    {"bw.dram.write_gbs", &PhaseSignals::dram_write_gbs, false},
+};
+
+std::vector<SignalDelta> signal_deltas(const PhaseSignals& a,
+                                       const PhaseSignals& b) {
+  std::vector<SignalDelta> out;
+  for (const SignalDef& def : kSignals) {
+    SignalDelta d;
+    d.signal = def.name;
+    d.a = a.*(def.field);
+    d.b = b.*(def.field);
+    const double move = std::abs(d.b - d.a);
+    d.impact = def.bounded
+                   ? move
+                   : move / std::max({std::abs(d.a), std::abs(d.b), kEps});
+    out.push_back(std::move(d));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SignalDelta& x, const SignalDelta& y) {
+                     return x.impact > y.impact + kEps;
+                   });
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(DiffPresence p) {
+  switch (p) {
+    case DiffPresence::kBoth:
+      return "both";
+    case DiffPresence::kOnlyA:
+      return "only-a";
+    case DiffPresence::kOnlyB:
+      return "only-b";
+  }
+  return "both";
+}
+
+RunDiff diff_profiles(const RunProfile& a, const RunProfile& b) {
+  RunDiff d;
+  d.a = a.run;
+  d.b = b.run;
+  d.a_mode = a.mode;
+  d.b_mode = b.mode;
+  d.a_runtime_s = a.runtime_s;
+  d.b_runtime_s = b.runtime_s;
+  d.delta_s = b.runtime_s - a.runtime_s;
+  d.speedup = b.runtime_s > kEps ? a.runtime_s / b.runtime_s : 1.0;
+  d.a_cls = a.verdict.cls;
+  d.b_cls = b.verdict.cls;
+
+  // Align: exact name first, then equivalence class over the leftovers
+  // (first unmatched B phase in order wins — deterministic).
+  std::vector<int> b_match(b.phases.size(), -1);
+  std::vector<int> a_match(a.phases.size(), -1);
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    for (std::size_t j = 0; j < b.phases.size(); ++j) {
+      if (b_match[j] == -1 && a.phases[i].name == b.phases[j].name) {
+        a_match[i] = static_cast<int>(j);
+        b_match[j] = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    if (a_match[i] != -1) continue;
+    const std::string eq = phase_equivalence_class(a.phases[i].name);
+    for (std::size_t j = 0; j < b.phases.size(); ++j) {
+      if (b_match[j] == -1 &&
+          phase_equivalence_class(b.phases[j].name) == eq) {
+        a_match[i] = static_cast<int>(j);
+        b_match[j] = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+
+  const double scale = std::max(
+      {a.runtime_s, b.runtime_s, kEps});  // noise floor reference
+  auto attribute_delta = [&](PhaseDiff& pd, const PhaseSignals& sa,
+                             const PhaseSignals& sb) {
+    pd.signals = signal_deltas(sa, sb);
+    if (std::abs(pd.delta_s) > kDeltaFloor * scale &&
+        !pd.signals.empty() && pd.signals.front().impact > kEps) {
+      pd.moved = pd.signals.front().signal;
+    }
+  };
+
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const PhaseProfile& pa = a.phases[i];
+    PhaseDiff pd;
+    pd.name = pa.name;
+    pd.a_s = pa.signals.total_s;
+    pd.a_cls = pa.verdict.cls;
+    if (a_match[i] != -1) {
+      const PhaseProfile& pb =
+          b.phases[static_cast<std::size_t>(a_match[i])];
+      pd.presence = DiffPresence::kBoth;
+      pd.b_s = pb.signals.total_s;
+      pd.b_cls = pb.verdict.cls;
+      pd.delta_s = pd.b_s - pd.a_s;
+      attribute_delta(pd, pa.signals, pb.signals);
+    } else {
+      pd.presence = DiffPresence::kOnlyA;
+      pd.delta_s = -pd.a_s;
+      pd.moved = "phase-removed";
+    }
+    d.phases.push_back(std::move(pd));
+  }
+  for (std::size_t j = 0; j < b.phases.size(); ++j) {
+    if (b_match[j] != -1) continue;
+    const PhaseProfile& pb = b.phases[j];
+    PhaseDiff pd;
+    pd.name = pb.name;
+    pd.presence = DiffPresence::kOnlyB;
+    pd.b_s = pb.signals.total_s;
+    pd.b_cls = pb.verdict.cls;
+    pd.delta_s = pd.b_s;
+    pd.moved = "phase-added";
+    d.phases.push_back(std::move(pd));
+  }
+
+  std::stable_sort(d.phases.begin(), d.phases.end(),
+                   [](const PhaseDiff& x, const PhaseDiff& y) {
+                     const double ax = std::abs(x.delta_s);
+                     const double ay = std::abs(y.delta_s);
+                     if (ax != ay) return ax > ay;
+                     return x.name < y.name;
+                   });
+
+  for (const PhaseDiff& pd : d.phases) {
+    if (pd.delta_s > kDeltaFloor * scale) ++d.regressions;
+    if (pd.delta_s < -kDeltaFloor * scale) ++d.improvements;
+  }
+
+  // Run-level attribution over the duration-weighted totals.
+  const std::vector<SignalDelta> run_sig = signal_deltas(a.totals, b.totals);
+  if (std::abs(d.delta_s) > kDeltaFloor * scale && !run_sig.empty() &&
+      run_sig.front().impact > kEps) {
+    d.moved = run_sig.front().signal;
+  }
+  return d;
+}
+
+Json run_diff_json(const RunDiff& d) {
+  Json j;
+  j.set("a", d.a);
+  j.set("b", d.b);
+  j.set("a_mode", d.a_mode);
+  j.set("b_mode", d.b_mode);
+  j.set("a_runtime_s", d.a_runtime_s);
+  j.set("b_runtime_s", d.b_runtime_s);
+  j.set("delta_s", d.delta_s);
+  j.set("speedup", d.speedup);
+  j.set("a_class", to_string(d.a_cls));
+  j.set("b_class", to_string(d.b_cls));
+  j.set("moved", d.moved);
+  j.set("regressions", static_cast<std::uint64_t>(d.regressions));
+  j.set("improvements", static_cast<std::uint64_t>(d.improvements));
+  Json phases = Json::array();
+  for (const PhaseDiff& pd : d.phases) {
+    Json jp;
+    jp.set("name", pd.name);
+    jp.set("presence", to_string(pd.presence));
+    jp.set("a_s", pd.a_s);
+    jp.set("b_s", pd.b_s);
+    jp.set("delta_s", pd.delta_s);
+    jp.set("a_class", to_string(pd.a_cls));
+    jp.set("b_class", to_string(pd.b_cls));
+    jp.set("moved", pd.moved);
+    Json sigs = Json::array();
+    for (const SignalDelta& sd : pd.signals) {
+      if (sd.impact <= kEps) continue;  // quiet signals are noise
+      Json js;
+      js.set("signal", sd.signal);
+      js.set("a", sd.a);
+      js.set("b", sd.b);
+      js.set("impact", sd.impact);
+      sigs.push(std::move(js));
+    }
+    jp.set("signals", std::move(sigs));
+    phases.push(std::move(jp));
+  }
+  j.set("phases", std::move(phases));
+  j.sort_keys();
+  return j;
+}
+
+std::string render_run_diff(const RunDiff& d) {
+  std::string out;
+  out += "diff " + d.a + " (" + d.a_mode + ", " + num(d.a_runtime_s) +
+         " s, " + to_string(d.a_cls) + ") vs " + d.b + " (" + d.b_mode +
+         ", " + num(d.b_runtime_s) + " s, " + to_string(d.b_cls) + ")\n";
+  out += "delta " + num(d.delta_s) + " s (speedup x" + num(d.speedup) +
+         "); " + std::to_string(d.regressions) + " regression(s), " +
+         std::to_string(d.improvements) + " improvement(s)";
+  if (!d.moved.empty()) out += "; moved: " + d.moved;
+  out += "\n\n";
+
+  TextTable t({"phase", "a_s", "b_s", "delta_s", "a_class", "b_class",
+               "moved"});
+  for (const PhaseDiff& pd : d.phases) {
+    std::string moved = pd.moved;
+    if (pd.presence == DiffPresence::kBoth && !pd.signals.empty() &&
+        !moved.empty()) {
+      const SignalDelta& top = pd.signals.front();
+      moved += " (" + num(top.a) + " -> " + num(top.b) + ")";
+    }
+    t.add_row({pd.name, num(pd.a_s), num(pd.b_s), num(pd.delta_s),
+               to_string(pd.a_cls), to_string(pd.b_cls), moved});
+  }
+  out += t.render();
+  return out;
+}
+
+void publish_run_diff(const RunDiff& d, MetricsRegistry& m) {
+  m.set(m.gauge("diff.delta_s"), d.delta_s);
+  m.set(m.gauge("diff.speedup"), d.speedup);
+  m.set(m.gauge("diff.regressions"), static_cast<double>(d.regressions));
+  m.set(m.gauge("diff.improvements"),
+        static_cast<double>(d.improvements));
+}
+
+}  // namespace nvms

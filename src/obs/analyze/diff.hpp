@@ -1,0 +1,76 @@
+// Run-vs-run diffing: the regression explainer.
+//
+// diff_profiles() aligns two RunProfiles phase-by-phase (exact name first,
+// then the phase_equivalence_class so iteration-decorated names still
+// pair up), attributes every phase's runtime delta to the signal that
+// moved the most, and rolls the result up into a run-level explanation —
+// exactly what the perf-gate CI step wants to print when a benchmark
+// comparison trips: not "hypre got 30% slower" but "hypre got 30% slower
+// because cache.conflict_rate went from 0.02 to 0.31 in phase solve".
+//
+// Everything is deterministic: phases are reported in descending
+// |runtime delta| (ties broken by name), signals are scanned in a fixed
+// order, and all rendering goes through the byte-stable formatters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analyze/profile.hpp"
+
+namespace nvms {
+
+enum class DiffPresence { kBoth, kOnlyA, kOnlyB };
+const char* to_string(DiffPresence p);
+
+/// One signal's movement between the two runs of a matched phase.
+struct SignalDelta {
+  std::string signal;  ///< e.g. "cache.conflict_rate", "bw.nvm.write_gbs"
+  double a = 0.0;
+  double b = 0.0;
+  double impact = 0.0;  ///< normalized movement used for ranking
+};
+
+struct PhaseDiff {
+  std::string name;  ///< phase name (run A's spelling when matched fuzzily)
+  DiffPresence presence = DiffPresence::kBoth;
+  double a_s = 0.0;      ///< total seconds in run A
+  double b_s = 0.0;      ///< total seconds in run B
+  double delta_s = 0.0;  ///< b_s - a_s (positive = regression)
+  Bottleneck a_cls = Bottleneck::kUnconstrained;
+  Bottleneck b_cls = Bottleneck::kUnconstrained;
+  /// Signal attributed for the delta ("phase-added"/"phase-removed" for
+  /// one-sided phases; empty when the delta is negligible).
+  std::string moved;
+  std::vector<SignalDelta> signals;  ///< impact-descending, fixed tiebreak
+};
+
+struct RunDiff {
+  std::string a;  ///< run A label
+  std::string b;  ///< run B label
+  std::string a_mode;
+  std::string b_mode;
+  double a_runtime_s = 0.0;
+  double b_runtime_s = 0.0;
+  double delta_s = 0.0;   ///< b - a
+  double speedup = 1.0;   ///< a / b (> 1 means B is faster)
+  Bottleneck a_cls = Bottleneck::kUnconstrained;
+  Bottleneck b_cls = Bottleneck::kUnconstrained;
+  std::string moved;  ///< run-level attributed signal
+  std::size_t regressions = 0;   ///< phases slower in B
+  std::size_t improvements = 0;  ///< phases faster in B
+  std::vector<PhaseDiff> phases;  ///< |delta| descending, name tiebreak
+};
+
+RunDiff diff_profiles(const RunProfile& a, const RunProfile& b);
+
+/// JSON document with recursively sorted keys (byte-stable).
+Json run_diff_json(const RunDiff& d);
+
+/// Human explanation: headline, then the per-phase delta table.
+std::string render_run_diff(const RunDiff& d);
+
+/// Publish the diff summary as gauges (`diff.*`).
+void publish_run_diff(const RunDiff& d, MetricsRegistry& m);
+
+}  // namespace nvms

@@ -1,0 +1,758 @@
+#include "obs/analyze/profile.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+
+#include "memsim/memory_system.hpp"
+#include "simcore/table.hpp"
+#include "simcore/units.hpp"
+
+namespace nvms {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Threshold-crossing score: 0 below the threshold, at least 0.5 the
+/// moment it fires, ramping to 1 as the signal spans `span` past it.  The
+/// 0.5 floor is what guarantees a fired mechanism always outranks the
+/// unconstrained fallback (whose score is the residual headroom).
+double fired(double value, double threshold, double span) {
+  if (value <= threshold) return 0.0;
+  return 0.5 + 0.5 * clamp01((value - threshold) / std::max(span, kEps));
+}
+
+/// Deterministic %.9g float formatting (matches obs/export.cpp).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string pct(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * v);
+  return buf;
+}
+
+/// One occurrence of a top-level span plus the lane/cache signals seen
+/// inside it, before aggregation into the per-name phase class.
+struct Occurrence {
+  double t0 = 0.0;
+  double dur = 0.0;
+  double dram_read_gbs = 0.0;
+  double dram_write_gbs = 0.0;
+  double nvm_read_gbs = 0.0;
+  double nvm_write_gbs = 0.0;
+  double nvm_wpq_util = 0.0;
+  double nvm_throttle = 1.0;
+  double max_busy = 0.0;  ///< busiest lane's device-span duration
+  bool saw_device = false;
+};
+
+double span_arg(const SpanRecord& sp, const char* key) {
+  for (const auto& [k, v] : sp.args) {
+    if (k == key) return v;
+  }
+  return 0.0;
+}
+
+bool is_nvm_lane(const std::string& name) {
+  return name.size() >= 3 && name.compare(0, 3, "nvm") == 0;
+}
+
+/// Class accumulator while folding occurrences (weighted sums; finalized
+/// into PhaseSignals means at the end).
+struct PhaseAccum {
+  std::string name;
+  PhaseSignals s;
+  double w = 0.0;        ///< duration weight accumulated
+  double sum_dram_r = 0.0, sum_dram_w = 0.0;
+  double sum_nvm_r = 0.0, sum_nvm_w = 0.0;
+  double sum_mem_share = 0.0;
+  double sum_conflict = 0.0, sum_hit = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kWpqSaturated:
+      return "wpq-saturated";
+    case Bottleneck::kReadThrottled:
+      return "read-throttled";
+    case Bottleneck::kCacheConflict:
+      return "cache-conflict";
+    case Bottleneck::kBandwidthBound:
+      return "bandwidth-bound";
+    case Bottleneck::kLatencyBound:
+      return "latency-bound";
+    case Bottleneck::kUnconstrained:
+      return "unconstrained";
+  }
+  return "unconstrained";
+}
+
+AnalyzeContext analyze_context(const SystemConfig& sys, std::string run) {
+  AnalyzeContext ctx;
+  ctx.run = std::move(run);
+  ctx.mode = to_string(sys.mode);
+  // Utilization is normalized against the node's aggregate per-class
+  // ceiling: per-socket peaks times the socket count the traffic can
+  // actually spread over.
+  const double sockets = sys.sockets == 2 ? 2.0 : 1.0;
+  ctx.dram_read_peak_gbs = sockets * sys.dram.read_bw_peak / GB;
+  ctx.dram_write_peak_gbs = sockets * sys.dram.write_bw_peak / GB;
+  ctx.nvm_read_peak_gbs = sockets * sys.nvm.read_bw_peak / GB;
+  ctx.nvm_write_peak_gbs = sockets * sys.nvm.write_bw_peak / GB;
+  return ctx;
+}
+
+Verdict attribute(const PhaseSignals& s, const AttributionThresholds& t) {
+  const double rw = s.nvm_read_gbs + s.nvm_write_gbs;
+  const bool any_traffic =
+      s.dram_read_gbs + s.dram_write_gbs + rw > kEps;
+
+  double score[kNumBottlenecks] = {};
+
+  // WPQ saturation needs NVM writes in flight; read throttling needs NVM
+  // reads suffering behind them.  The throttle curve is a function of WPQ
+  // occupancy, so when one fires both usually fire; which mechanism
+  // *explains the time* is decided by whether the queue is pinned at
+  // capacity.  A hard-saturated WPQ (util >= wpq_sat) means write bursts
+  // outpace the drain for the whole phase — the paper's FT-transpose
+  // story — while a queue hovering below full leaves throttled reads as
+  // the dominant symptom.  The favored side keeps its full score, the
+  // other is slightly discounted (never below the 0.5 fired floor times
+  // 0.8, so both still outrank unconstrained).
+  const bool wpq_pinned = s.nvm_wpq_util >= t.wpq_sat;
+  if (s.nvm_write_gbs > kEps) {
+    score[static_cast<int>(Bottleneck::kWpqSaturated)] =
+        fired(s.nvm_wpq_util, t.wpq_util, 1.0 - t.wpq_util) *
+        (wpq_pinned ? 1.0 : 0.8);
+  }
+  if (s.nvm_read_gbs > kEps) {
+    score[static_cast<int>(Bottleneck::kReadThrottled)] =
+        fired(1.0 - s.nvm_throttle, 1.0 - t.throttle, 1.0 - t.throttle) *
+        (wpq_pinned ? 0.8 : 1.0);
+  }
+  if (s.cache_s > kEps) {
+    score[static_cast<int>(Bottleneck::kCacheConflict)] =
+        fired(s.cache_conflict, t.conflict, 0.5 - t.conflict);
+  }
+  if (any_traffic) {
+    score[static_cast<int>(Bottleneck::kBandwidthBound)] =
+        fired(s.bw_util, t.bw_util, 1.0 - t.bw_util);
+    // Latency-bound: the run spends its time in the memory system while
+    // every lane sits far below its bandwidth ceiling.
+    if (s.bw_util < t.lat_bw_util) {
+      score[static_cast<int>(Bottleneck::kLatencyBound)] =
+          fired(s.mem_share, t.mem_share, 1.0 - t.mem_share) *
+          (0.5 + 0.5 * clamp01((t.lat_bw_util - s.bw_util) /
+                               std::max(t.lat_bw_util, kEps)));
+    }
+  }
+
+  double max_fired = 0.0;
+  for (std::size_t i = 0; i + 1 < kNumBottlenecks; ++i) {
+    max_fired = std::max(max_fired, score[i]);
+  }
+  score[static_cast<int>(Bottleneck::kUnconstrained)] =
+      max_fired > 0.0 ? 0.0 : clamp01(1.0 - std::max({
+          t.wpq_util > 0 ? s.nvm_wpq_util / t.wpq_util : 0.0,
+          (1.0 - s.nvm_throttle) / std::max(1.0 - t.throttle, kEps),
+          t.conflict > 0 ? s.cache_conflict / t.conflict : 0.0,
+          t.bw_util > 0 ? s.bw_util / t.bw_util : 0.0,
+      }));
+  // The fallback verdict always carries a nonzero score so every phase
+  // gets a classification even with zero headroom.
+  if (max_fired == 0.0) {
+    score[static_cast<int>(Bottleneck::kUnconstrained)] = std::max(
+        score[static_cast<int>(Bottleneck::kUnconstrained)], 0.05);
+  }
+
+  Verdict v;
+  double best = -1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNumBottlenecks; ++i) {
+    total += score[i];
+    if (score[i] > best + kEps) {  // strict: earlier class wins ties
+      best = score[i];
+      v.cls = static_cast<Bottleneck>(i);
+    }
+  }
+  v.score = std::max(best, 0.0);
+
+  // Evidence: one entry per scored class, contribution-ranked (ties break
+  // in taxonomy order because the sort is stable over that order).
+  struct Row {
+    Bottleneck cls;
+    Evidence e;
+  };
+  std::vector<Row> rows;
+  auto add = [&](Bottleneck cls, std::string signal, double value,
+                 double threshold) {
+    const double sc = score[static_cast<int>(cls)];
+    if (sc <= 0.0) return;
+    rows.push_back(
+        {cls, {std::move(signal), value, threshold,
+               total > kEps ? 100.0 * sc / total : 0.0}});
+  };
+  add(Bottleneck::kWpqSaturated, "wpq.util", s.nvm_wpq_util, t.wpq_util);
+  add(Bottleneck::kReadThrottled, "throttle.read", s.nvm_throttle,
+      t.throttle);
+  add(Bottleneck::kCacheConflict, "cache.conflict_rate", s.cache_conflict,
+      t.conflict);
+  add(Bottleneck::kBandwidthBound,
+      s.bw_lane.empty() ? std::string("bw.util")
+                        : "bw.util." + s.bw_lane,
+      s.bw_util, t.bw_util);
+  add(Bottleneck::kLatencyBound, "mem.share", s.mem_share, t.mem_share);
+  add(Bottleneck::kUnconstrained, "headroom",
+      score[static_cast<int>(Bottleneck::kUnconstrained)], 0.0);
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.e.contribution > b.e.contribution;
+  });
+  for (auto& r : rows) v.evidence.push_back(std::move(r.e));
+  return v;
+}
+
+std::string phase_equivalence_class(const std::string& name) {
+  std::size_t n = name.size();
+  auto strippable = [](char c) {
+    return (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '-' ||
+           c == '_' || c == '.' || c == '#' || c == '/';
+  };
+  while (n > 0 && strippable(name[n - 1])) --n;
+  if (n == 0) return name;  // all-decoration names stay as-is
+  return name.substr(0, n);
+}
+
+namespace {
+
+/// Finalize a PhaseAccum's weighted sums into signal means and compute
+/// the derived lane utilization against the context peaks.
+void finalize_signals(PhaseAccum& a, const AnalyzeContext& ctx) {
+  PhaseSignals& s = a.s;
+  const double w = a.w > kEps ? a.w : static_cast<double>(s.count);
+  if (w > kEps) {
+    s.dram_read_gbs = a.sum_dram_r / w;
+    s.dram_write_gbs = a.sum_dram_w / w;
+    s.nvm_read_gbs = a.sum_nvm_r / w;
+    s.nvm_write_gbs = a.sum_nvm_w / w;
+    s.mem_share = a.sum_mem_share / w;
+  }
+  if (s.cache_s > kEps) {
+    s.cache_conflict = a.sum_conflict / s.cache_s;
+    s.cache_hit = a.sum_hit / s.cache_s;
+  }
+  // Best lane utilization, fixed candidate order so ties are stable.
+  struct Cand {
+    const char* lane;
+    double gbs;
+    double peak;
+  } cands[4] = {
+      {"dram.read", s.dram_read_gbs, ctx.dram_read_peak_gbs},
+      {"dram.write", s.dram_write_gbs, ctx.dram_write_peak_gbs},
+      {"nvm.read", s.nvm_read_gbs, ctx.nvm_read_peak_gbs},
+      {"nvm.write", s.nvm_write_gbs, ctx.nvm_write_peak_gbs},
+  };
+  s.bw_util = 0.0;
+  s.bw_lane.clear();
+  for (const Cand& c : cands) {
+    if (c.peak <= kEps) continue;
+    const double u = c.gbs / c.peak;
+    if (u > s.bw_util + kEps) {
+      s.bw_util = u;
+      s.bw_lane = c.lane;
+    }
+  }
+}
+
+void fold_occurrence(PhaseAccum& a, const Occurrence& o) {
+  PhaseSignals& s = a.s;
+  s.count += 1;
+  s.total_s += o.dur;
+  s.max_s = std::max(s.max_s, o.dur);
+  const double w = o.dur > kEps ? o.dur : 0.0;
+  a.w += w;
+  // Zero-duration occurrences carry no meaningful rates: weight by the
+  // duration so they do not dilute the means (extremes still register).
+  const double ww = w > kEps ? w : (a.w > kEps ? 0.0 : 1e-30);
+  a.sum_dram_r += o.dram_read_gbs * ww;
+  a.sum_dram_w += o.dram_write_gbs * ww;
+  a.sum_nvm_r += o.nvm_read_gbs * ww;
+  a.sum_nvm_w += o.nvm_write_gbs * ww;
+  a.sum_mem_share += (o.dur > kEps ? o.max_busy / o.dur : 0.0) * ww;
+  if (o.saw_device) {
+    s.nvm_wpq_util = std::max(s.nvm_wpq_util, o.nvm_wpq_util);
+    s.nvm_throttle = std::min(s.nvm_throttle, o.nvm_throttle);
+  }
+}
+
+/// Shared tail of build/merge: shares, class rollup, run verdict,
+/// quantiles.  `accums` hold finalized per-phase signals + verdicts.
+void finish_profile(RunProfile& p, std::vector<PhaseAccum>& accums,
+                    const AttributionThresholds& t) {
+  p.phases.clear();
+  double class_s[kNumBottlenecks] = {};
+  std::size_t class_n[kNumBottlenecks] = {};
+  // Run-level totals: duration-weighted phase means, worst-case extremes.
+  PhaseAccum run;
+  for (PhaseAccum& a : accums) {
+    PhaseProfile pp;
+    pp.name = a.name;
+    pp.signals = a.s;
+    pp.verdict = attribute(a.s, t);
+    pp.share = p.runtime_s > kEps ? a.s.total_s / p.runtime_s : 0.0;
+    class_s[static_cast<int>(pp.verdict.cls)] += a.s.total_s;
+    class_n[static_cast<int>(pp.verdict.cls)] += 1;
+
+    const double w = a.s.total_s;
+    run.s.count += a.s.count;
+    run.s.total_s += a.s.total_s;
+    run.s.max_s = std::max(run.s.max_s, a.s.max_s);
+    run.w += w;
+    run.sum_dram_r += a.s.dram_read_gbs * w;
+    run.sum_dram_w += a.s.dram_write_gbs * w;
+    run.sum_nvm_r += a.s.nvm_read_gbs * w;
+    run.sum_nvm_w += a.s.nvm_write_gbs * w;
+    run.sum_mem_share += a.s.mem_share * w;
+    run.s.nvm_wpq_util = std::max(run.s.nvm_wpq_util, a.s.nvm_wpq_util);
+    run.s.nvm_throttle = std::min(run.s.nvm_throttle, a.s.nvm_throttle);
+    run.s.cache_s += a.s.cache_s;
+    run.sum_conflict += a.s.cache_conflict * a.s.cache_s;
+    run.sum_hit += a.s.cache_hit * a.s.cache_s;
+    p.phases.push_back(std::move(pp));
+  }
+  // The run totals were weighted against context peaks already baked into
+  // each phase's bw_util; re-derive the run-level best lane the same way
+  // using a time-weighted mean of the phase bw_utils.
+  if (run.w > kEps) {
+    run.s.dram_read_gbs = run.sum_dram_r / run.w;
+    run.s.dram_write_gbs = run.sum_dram_w / run.w;
+    run.s.nvm_read_gbs = run.sum_nvm_r / run.w;
+    run.s.nvm_write_gbs = run.sum_nvm_w / run.w;
+    run.s.mem_share = run.sum_mem_share / run.w;
+  }
+  if (run.s.cache_s > kEps) {
+    run.s.cache_conflict = run.sum_conflict / run.s.cache_s;
+    run.s.cache_hit = run.sum_hit / run.s.cache_s;
+  }
+  double wsum = 0.0;
+  double usum = 0.0;
+  for (const PhaseProfile& pp : p.phases) {
+    usum += pp.signals.bw_util * pp.signals.total_s;
+    wsum += pp.signals.total_s;
+    if (pp.signals.bw_util >= run.s.bw_util &&
+        !pp.signals.bw_lane.empty() && run.s.bw_lane.empty()) {
+      run.s.bw_lane = pp.signals.bw_lane;
+    }
+    if (pp.signals.bw_util > run.s.bw_util) {
+      run.s.bw_util = pp.signals.bw_util;
+      run.s.bw_lane = pp.signals.bw_lane;
+    }
+  }
+  // Run verdict scores on the *time-weighted* utilization (a run is only
+  // bandwidth-bound if it spends its time there), but reports the peak
+  // lane as evidence detail.
+  const std::string peak_lane = run.s.bw_lane;
+  run.s.bw_util = wsum > kEps ? usum / wsum : 0.0;
+  run.s.bw_lane = peak_lane;
+
+  p.totals = run.s;
+  p.verdict = attribute(p.totals, t);
+
+  p.classes.clear();
+  for (std::size_t i = 0; i < kNumBottlenecks; ++i) {
+    ClassShare cs;
+    cs.cls = static_cast<Bottleneck>(i);
+    cs.seconds = class_s[i];
+    cs.share = p.runtime_s > kEps ? class_s[i] / p.runtime_s : 0.0;
+    cs.phases = class_n[i];
+    p.classes.push_back(cs);
+  }
+  p.phase_p50_s = p.phase_sketch.p50();
+  p.phase_p95_s = p.phase_sketch.p95();
+  p.phase_p99_s = p.phase_sketch.p99();
+}
+
+}  // namespace
+
+RunProfile build_run_profile(const Telemetry& telemetry,
+                             const AnalyzeContext& ctx) {
+  RunProfile p;
+  p.run = ctx.run;
+  p.mode = ctx.mode;
+
+  const auto& spans = telemetry.tracer().spans();
+
+  // Pass 1: fold the span forest into per-occurrence signals.  Spans are
+  // stored in begin order, so every device span follows its enclosing
+  // top-level phase span and precedes the next one — a single cursor walk.
+  std::vector<Occurrence> occs;
+  std::vector<std::string> occ_name;
+  for (const SpanRecord& sp : spans) {
+    if (sp.depth == 0 &&
+        (sp.category == "phase" || sp.category == "advance")) {
+      Occurrence o;
+      o.t0 = sp.t0;
+      o.dur = std::max(0.0, sp.t1 - sp.t0);
+      occs.push_back(o);
+      occ_name.push_back(sp.name);
+      continue;
+    }
+    if (sp.category == "device" && !occs.empty()) {
+      Occurrence& o = occs.back();
+      o.saw_device = true;
+      const double r = span_arg(sp, "read_gbs");
+      const double w = span_arg(sp, "write_gbs");
+      if (is_nvm_lane(sp.name)) {
+        o.nvm_read_gbs += r;
+        o.nvm_write_gbs += w;
+        o.nvm_wpq_util = std::max(o.nvm_wpq_util, span_arg(sp, "wpq_util"));
+        o.nvm_throttle = std::min(o.nvm_throttle, span_arg(sp, "throttle"));
+      } else {
+        o.dram_read_gbs += r;
+        o.dram_write_gbs += w;
+      }
+      o.max_busy = std::max(o.max_busy, std::max(0.0, sp.t1 - sp.t0));
+    }
+  }
+
+  // Pass 2: join cache.* epoch series on the phase start time.  The DRAM
+  // cache stamps its per-phase rates at the submit()'s virtual t0, so a
+  // cursor over the (time-ordered) occurrences matches each point to the
+  // last occurrence starting at or before it.
+  std::vector<double> occ_conflict(occs.size(), 0.0);
+  std::vector<double> occ_hit(occs.size(), 0.0);
+  std::vector<bool> occ_cache(occs.size(), false);
+  auto join_series = [&](const char* name, std::vector<double>& dst,
+                         std::vector<bool>* flag) {
+    for (const Metric& m : telemetry.metrics().metrics()) {
+      if (m.name != name) continue;
+      std::size_t cur = 0;
+      for (const MetricPoint& pt : m.series) {
+        while (cur + 1 < occs.size() && occs[cur + 1].t0 <= pt.t) ++cur;
+        if (cur < occs.size() && occs[cur].t0 <= pt.t) {
+          dst[cur] = pt.value;
+          if (flag != nullptr) (*flag)[cur] = true;
+        }
+      }
+    }
+  };
+  if (!occs.empty()) {
+    join_series("cache.conflict_rate", occ_conflict, &occ_cache);
+    join_series("cache.hit_rate", occ_hit, nullptr);
+  }
+
+  // Pass 3: aggregate occurrences into phase classes (by name, first-seen
+  // order) and the run-wide duration sketch.
+  std::vector<PhaseAccum> accums;
+  std::unordered_map<std::string, std::size_t> by_name;
+  double t_end = 0.0;
+  for (std::size_t i = 0; i < occs.size(); ++i) {
+    const std::string& name = occ_name[i];
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      it = by_name.emplace(name, accums.size()).first;
+      accums.push_back({});
+      accums.back().name = name;
+    }
+    PhaseAccum& a = accums[it->second];
+    fold_occurrence(a, occs[i]);
+    if (occ_cache[i]) {
+      const double w = std::max(occs[i].dur, kEps);
+      a.s.cache_s += w;
+      a.sum_conflict += occ_conflict[i] * w;
+      a.sum_hit += occ_hit[i] * w;
+    }
+    p.phase_sketch.add(occs[i].dur);
+    t_end = std::max(t_end, occs[i].t0 + occs[i].dur);
+  }
+  p.phase_count = occs.size();
+  p.runtime_s = t_end;
+
+  for (PhaseAccum& a : accums) finalize_signals(a, ctx);
+  finish_profile(p, accums, ctx.thresholds);
+  return p;
+}
+
+RunProfile merge_profiles(const std::vector<RunProfile>& parts,
+                          std::string run, const AttributionThresholds& t) {
+  RunProfile p;
+  p.run = std::move(run);
+  std::vector<PhaseAccum> accums;
+  std::unordered_map<std::string, std::size_t> by_name;
+  for (const RunProfile& part : parts) {
+    if (p.mode.empty()) {
+      p.mode = part.mode;
+    } else if (p.mode != part.mode) {
+      p.mode = "mixed";
+    }
+    p.runtime_s += part.runtime_s;
+    p.phase_count += part.phase_count;
+    p.phase_sketch.merge(part.phase_sketch);
+    for (const PhaseProfile& pp : part.phases) {
+      auto it = by_name.find(pp.name);
+      if (it == by_name.end()) {
+        it = by_name.emplace(pp.name, accums.size()).first;
+        accums.push_back({});
+        accums.back().name = pp.name;
+      }
+      PhaseAccum& a = accums[it->second];
+      const PhaseSignals& s = pp.signals;
+      const double w = s.total_s > kEps
+                           ? s.total_s
+                           : static_cast<double>(s.count) * kEps;
+      a.s.count += s.count;
+      a.s.total_s += s.total_s;
+      a.s.max_s = std::max(a.s.max_s, s.max_s);
+      a.w += w;
+      a.sum_dram_r += s.dram_read_gbs * w;
+      a.sum_dram_w += s.dram_write_gbs * w;
+      a.sum_nvm_r += s.nvm_read_gbs * w;
+      a.sum_nvm_w += s.nvm_write_gbs * w;
+      a.sum_mem_share += s.mem_share * w;
+      a.s.nvm_wpq_util = std::max(a.s.nvm_wpq_util, s.nvm_wpq_util);
+      a.s.nvm_throttle = std::min(a.s.nvm_throttle, s.nvm_throttle);
+      a.s.cache_s += s.cache_s;
+      a.sum_conflict += s.cache_conflict * s.cache_s;
+      a.sum_hit += s.cache_hit * s.cache_s;
+      // Merged bw_util is the time-weighted mean of the parts' lane
+      // utilizations; the reported lane is the heaviest part's.
+      if (a.s.bw_lane.empty() || s.total_s > a.s.max_s - kEps) {
+        if (!s.bw_lane.empty()) a.s.bw_lane = s.bw_lane;
+      }
+      a.s.bw_util += s.bw_util * w;  // finalized below
+    }
+  }
+  for (PhaseAccum& a : accums) {
+    const double w = a.w > kEps ? a.w : static_cast<double>(a.s.count);
+    if (w > kEps) {
+      a.s.dram_read_gbs = a.sum_dram_r / w;
+      a.s.dram_write_gbs = a.sum_dram_w / w;
+      a.s.nvm_read_gbs = a.sum_nvm_r / w;
+      a.s.nvm_write_gbs = a.sum_nvm_w / w;
+      a.s.mem_share = a.sum_mem_share / w;
+      a.s.bw_util = a.s.bw_util / w;
+    } else {
+      a.s.bw_util = 0.0;
+    }
+    if (a.s.cache_s > kEps) {
+      a.s.cache_conflict = a.sum_conflict / a.s.cache_s;
+      a.s.cache_hit = a.sum_hit / a.s.cache_s;
+    }
+  }
+  finish_profile(p, accums, t);
+  return p;
+}
+
+// -- renderers --------------------------------------------------------------
+
+namespace {
+
+Json evidence_json(const std::vector<Evidence>& ev) {
+  Json arr = Json::array();
+  for (const Evidence& e : ev) {
+    Json je;
+    je.set("signal", e.signal);
+    je.set("value", e.value);
+    je.set("threshold", e.threshold);
+    je.set("contribution_pct", e.contribution);
+    arr.push(std::move(je));
+  }
+  return arr;
+}
+
+Json verdict_json(const Verdict& v) {
+  Json jv;
+  jv.set("class", to_string(v.cls));
+  jv.set("score", v.score);
+  jv.set("evidence", evidence_json(v.evidence));
+  return jv;
+}
+
+Json signals_json(const PhaseSignals& s) {
+  Json js;
+  js.set("count", static_cast<std::uint64_t>(s.count));
+  js.set("total_s", s.total_s);
+  js.set("max_s", s.max_s);
+  js.set("dram_read_gbs", s.dram_read_gbs);
+  js.set("dram_write_gbs", s.dram_write_gbs);
+  js.set("nvm_read_gbs", s.nvm_read_gbs);
+  js.set("nvm_write_gbs", s.nvm_write_gbs);
+  js.set("nvm_wpq_util", s.nvm_wpq_util);
+  js.set("nvm_throttle", s.nvm_throttle);
+  js.set("mem_share", s.mem_share);
+  js.set("bw_util", s.bw_util);
+  js.set("bw_lane", s.bw_lane);
+  js.set("cache_conflict", s.cache_conflict);
+  js.set("cache_hit", s.cache_hit);
+  js.set("cache_s", s.cache_s);
+  return js;
+}
+
+}  // namespace
+
+Json run_profile_json(const RunProfile& p) {
+  Json j;
+  j.set("run", p.run);
+  j.set("mode", p.mode);
+  j.set("runtime_s", p.runtime_s);
+  j.set("phase_count", static_cast<std::uint64_t>(p.phase_count));
+  j.set("phase_p50_s", p.phase_p50_s);
+  j.set("phase_p95_s", p.phase_p95_s);
+  j.set("phase_p99_s", p.phase_p99_s);
+  j.set("verdict", verdict_json(p.verdict));
+  Json classes = Json::array();
+  for (const ClassShare& c : p.classes) {
+    Json jc;
+    jc.set("class", to_string(c.cls));
+    jc.set("seconds", c.seconds);
+    jc.set("share", c.share);
+    jc.set("phases", static_cast<std::uint64_t>(c.phases));
+    classes.push(std::move(jc));
+  }
+  j.set("classes", std::move(classes));
+  Json phases = Json::array();
+  for (const PhaseProfile& pp : p.phases) {
+    Json jp;
+    jp.set("name", pp.name);
+    jp.set("class", to_string(pp.verdict.cls));
+    jp.set("share", pp.share);
+    jp.set("verdict", verdict_json(pp.verdict));
+    jp.set("signals", signals_json(pp.signals));
+    phases.push(std::move(jp));
+  }
+  j.set("phases", std::move(phases));
+  j.sort_keys();
+  return j;
+}
+
+std::string run_profile_csv(const RunProfile& p) {
+  std::string out =
+      "phase,class,score,count,total_s,share,nvm_wpq_util,nvm_throttle,"
+      "cache_conflict,bw_util,bw_lane,nvm_read_gbs,nvm_write_gbs,"
+      "dram_read_gbs,dram_write_gbs,mem_share\n";
+  auto row = [&](const std::string& name, const Verdict& v,
+                 const PhaseSignals& s, double share) {
+    out += name;
+    out += ',';
+    out += to_string(v.cls);
+    out += ',';
+    out += num(v.score);
+    out += ',';
+    out += std::to_string(s.count);
+    out += ',';
+    out += num(s.total_s);
+    out += ',';
+    out += num(share);
+    out += ',';
+    out += num(s.nvm_wpq_util);
+    out += ',';
+    out += num(s.nvm_throttle);
+    out += ',';
+    out += num(s.cache_conflict);
+    out += ',';
+    out += num(s.bw_util);
+    out += ',';
+    out += s.bw_lane;
+    out += ',';
+    out += num(s.nvm_read_gbs);
+    out += ',';
+    out += num(s.nvm_write_gbs);
+    out += ',';
+    out += num(s.dram_read_gbs);
+    out += ',';
+    out += num(s.dram_write_gbs);
+    out += ',';
+    out += num(s.mem_share);
+    out += '\n';
+  };
+  for (const PhaseProfile& pp : p.phases) {
+    row(pp.name, pp.verdict, pp.signals, pp.share);
+  }
+  row("(run)", p.verdict, p.totals, 1.0);
+  return out;
+}
+
+namespace {
+
+std::string evidence_line(const std::vector<Evidence>& ev,
+                          std::size_t max_items = 3) {
+  std::string out;
+  std::size_t n = 0;
+  for (const Evidence& e : ev) {
+    if (n == max_items) break;
+    if (n > 0) out += ", ";
+    out += e.signal;
+    out += '=';
+    out += num(e.value);
+    if (e.threshold > 0.0) {
+      out += " (thr ";
+      out += num(e.threshold);
+      out += ')';
+    }
+    out += ' ';
+    out += pct(e.contribution / 100.0);
+    ++n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_run_profile(const RunProfile& p) {
+  std::string out;
+  out += "run " + p.run + " (" + p.mode + "): " +
+         to_string(p.verdict.cls) + " (score " + num(p.verdict.score) +
+         ")\n";
+  out += "runtime " + num(p.runtime_s) + " s over " +
+         std::to_string(p.phase_count) + " phase occurrence(s); phase " +
+         "p50/p95/p99 = " + num(p.phase_p50_s) + "/" + num(p.phase_p95_s) +
+         "/" + num(p.phase_p99_s) + " s\n";
+  out += "evidence: " + evidence_line(p.verdict.evidence) + "\n\n";
+
+  TextTable classes({"class", "share", "seconds", "phases"});
+  for (const ClassShare& c : p.classes) {
+    classes.add_row({to_string(c.cls), pct(c.share), num(c.seconds),
+                     std::to_string(c.phases)});
+  }
+  out += classes.render();
+  out += '\n';
+
+  TextTable phases({"phase", "class", "share", "count", "total_s",
+                    "evidence"});
+  for (const PhaseProfile& pp : p.phases) {
+    phases.add_row({pp.name, to_string(pp.verdict.cls), pct(pp.share),
+                    std::to_string(pp.signals.count),
+                    num(pp.signals.total_s),
+                    evidence_line(pp.verdict.evidence, 2)});
+  }
+  out += phases.render();
+  return out;
+}
+
+void publish_run_profile(const RunProfile& p, MetricsRegistry& m) {
+  m.set(m.gauge("analyze.runtime_s"), p.runtime_s);
+  m.set(m.gauge("analyze.phase_count"),
+        static_cast<double>(p.phase_count));
+  m.set(m.gauge("analyze.verdict_score"), p.verdict.score);
+  m.set(m.gauge("analyze.phase_p50_s"), p.phase_p50_s);
+  m.set(m.gauge("analyze.phase_p95_s"), p.phase_p95_s);
+  m.set(m.gauge("analyze.phase_p99_s"), p.phase_p99_s);
+  for (const ClassShare& c : p.classes) {
+    m.set(m.gauge("analyze.class_share", {{"class", to_string(c.cls)}}),
+          c.share);
+  }
+}
+
+}  // namespace nvms

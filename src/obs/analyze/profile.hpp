@@ -1,0 +1,195 @@
+// Bottleneck attribution: from raw telemetry to "why is this slow".
+//
+// The paper's Sec. IV does not stop at counters — every application
+// slowdown on Optane is attributed to a *mechanism*: WPQ saturation under
+// write bursts (IV-C), reads throttled behind the shared write queue,
+// DRAM-cache conflict misses in Memory mode (IV-B), or a plain bandwidth/
+// latency ceiling.  The PR-2 telemetry layer records all the ingredients
+// (`wpq.util`, `throttle.read`, `cache.*`, per-lane `bw.*`, device spans);
+// this module turns them into structured verdicts.
+//
+// Pipeline (deterministic by construction — every input is the virtual-
+// clock telemetry that is already byte-identical across worker counts and
+// resolve-cache modes):
+//   1. walk the Tracer's span forest: each top-level span is one phase
+//      occurrence; nested device spans carry the per-lane achieved
+//      bandwidths, WPQ utilization and read-throttle multiplier;
+//   2. join the `cache.*` epoch series on the phase start time;
+//   3. aggregate occurrences into per-phase equivalence classes (by name,
+//      first-seen order) with time-weighted signal means;
+//   4. score every class of the Sec.-IV taxonomy with fixed thresholds and
+//      pick the arg-max (ties break in taxonomy order), attaching the
+//      evidence — signal, value, threshold, contribution share — that a
+//      reviewer would want to see;
+//   5. roll phases up into the run verdict (duration-weighted signals) and
+//      per-class runtime shares.
+//
+// RunProfile is the exchange format: the CLI `explain`/`diff`/`inspect`
+// subcommands, the sweep-level merged profiles (harness/sweep) and the
+// regression-explainer CI step all consume it through the JSON/CSV/human
+// renderers below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sketch.hpp"
+#include "obs/telemetry.hpp"
+#include "simcore/json.hpp"
+
+namespace nvms {
+
+struct SystemConfig;  // memsim/memory_system.hpp
+
+/// The paper's Sec.-IV bottleneck taxonomy, in attribution priority order
+/// (earlier classes win score ties).
+enum class Bottleneck {
+  kWpqSaturated,   ///< write bursts saturate the NVM write-pending queue
+  kReadThrottled,  ///< reads starve behind the shared WPQ (Sec. IV-C)
+  kCacheConflict,  ///< DRAM-cache conflict misses in Memory mode (IV-B)
+  kBandwidthBound, ///< a device lane runs at its bandwidth ceiling
+  kLatencyBound,   ///< memory-dominated but far from any bandwidth peak
+  kUnconstrained,  ///< compute-bound or otherwise free of memory pressure
+};
+constexpr std::size_t kNumBottlenecks = 6;
+
+const char* to_string(Bottleneck b);
+
+/// One piece of verdict evidence: which signal fired, at what value,
+/// against which threshold, and its share of the total class score.
+struct Evidence {
+  std::string signal;        ///< e.g. "wpq.util", "bw.util.nvm.read"
+  double value = 0.0;
+  double threshold = 0.0;
+  double contribution = 0.0; ///< percent of the summed class scores
+};
+
+struct Verdict {
+  Bottleneck cls = Bottleneck::kUnconstrained;
+  double score = 0.0;              ///< winning class score in [0, 1]
+  std::vector<Evidence> evidence;  ///< contribution-descending
+};
+
+/// Aggregated signals of one phase equivalence class (all occurrences of
+/// one phase name).  Bandwidths are time-weighted means in GB/s; peak
+/// utilizations are maxima; the throttle multiplier is the minimum (most
+/// throttled) observed.
+struct PhaseSignals {
+  std::size_t count = 0;    ///< occurrences aggregated
+  double total_s = 0.0;     ///< summed virtual duration
+  double max_s = 0.0;       ///< longest single occurrence
+  double dram_read_gbs = 0.0;
+  double dram_write_gbs = 0.0;
+  double nvm_read_gbs = 0.0;
+  double nvm_write_gbs = 0.0;
+  double nvm_wpq_util = 0.0;   ///< max over occurrences/lanes
+  double nvm_throttle = 1.0;   ///< min read multiplier observed
+  double mem_share = 0.0;      ///< busiest-lane busy fraction (t-weighted)
+  double bw_util = 0.0;        ///< best lane's achieved/peak (t-weighted)
+  std::string bw_lane;         ///< lane behind bw_util ("nvm.read", ...)
+  double cache_conflict = 0.0; ///< mean cache.conflict_rate (Memory mode)
+  double cache_hit = 0.0;      ///< mean cache.hit_rate
+  double cache_s = 0.0;        ///< duration covered by cache samples
+};
+
+struct PhaseProfile {
+  std::string name;
+  PhaseSignals signals;
+  Verdict verdict;
+  double share = 0.0;  ///< total_s / run runtime
+};
+
+/// Runtime share attributed to one bottleneck class.
+struct ClassShare {
+  Bottleneck cls = Bottleneck::kUnconstrained;
+  double seconds = 0.0;
+  double share = 0.0;
+  std::size_t phases = 0;  ///< phase classes with this verdict
+};
+
+struct RunProfile {
+  std::string run;   ///< label: app name or sweep-cell label
+  std::string mode;  ///< "dram-only" | "cached-nvm" | "uncached-nvm" | mixed
+  double runtime_s = 0.0;
+  std::size_t phase_count = 0;    ///< phase occurrences (span count)
+  std::vector<PhaseProfile> phases;  ///< first-seen order
+  std::vector<ClassShare> classes;   ///< all six classes, taxonomy order
+  PhaseSignals totals;               ///< run-level duration-weighted signals
+  Verdict verdict;                   ///< run-level attribution
+  /// Deterministic phase-duration quantiles (log2-bucket sketch over
+  /// phase occurrences; kept so merged profiles re-derive exact p50/95/99).
+  QuantileSketch phase_sketch;
+  double phase_p50_s = 0.0;
+  double phase_p95_s = 0.0;
+  double phase_p99_s = 0.0;
+};
+
+/// Attribution thresholds (documented in docs/OBSERVABILITY.md; fixed
+/// defaults keep verdicts deterministic and comparable across runs).
+struct AttributionThresholds {
+  double wpq_util = 0.70;   ///< wpq-saturated above this utilization
+  /// The queue counts as *pinned* (write bursts outpace the drain for the
+  /// whole phase) at or above this utilization; a pinned queue favors
+  /// wpq-saturated over read-throttled when both fire, a merely busy one
+  /// favors read-throttled.
+  double wpq_sat = 0.995;
+  double throttle = 0.85;   ///< read-throttled below this multiplier
+  double conflict = 0.05;   ///< cache-conflict above this rate
+  double bw_util = 0.60;    ///< bandwidth-bound above this lane share
+  double mem_share = 0.50;  ///< latency-bound needs memory-dominated time
+  double lat_bw_util = 0.45; ///< ...with lane utilization below this
+};
+
+/// Everything build_run_profile needs besides the telemetry itself: a run
+/// label, the system mode and the device bandwidth peaks the utilization
+/// signals are normalized against.
+struct AnalyzeContext {
+  std::string run;
+  std::string mode;
+  double dram_read_peak_gbs = 0.0;
+  double dram_write_peak_gbs = 0.0;
+  double nvm_read_peak_gbs = 0.0;
+  double nvm_write_peak_gbs = 0.0;
+  AttributionThresholds thresholds;
+};
+
+/// Context for a run on `sys` (peaks from the config's device parameters).
+AnalyzeContext analyze_context(const SystemConfig& sys, std::string run);
+
+/// Score one phase's aggregated signals against the taxonomy.
+Verdict attribute(const PhaseSignals& s, const AttributionThresholds& t);
+
+/// The attribution pipeline over one run's telemetry.
+RunProfile build_run_profile(const Telemetry& telemetry,
+                             const AnalyzeContext& ctx);
+
+/// Merge per-cell profiles (e.g. a sweep grid, in grid order) into one
+/// profile: phases align by name, signals merge time-weighted, verdicts
+/// are re-scored.  Deterministic in the input order.
+RunProfile merge_profiles(const std::vector<RunProfile>& parts,
+                          std::string run,
+                          const AttributionThresholds& t = {});
+
+/// Phase-name equivalence class: trailing iteration decorations
+/// (digits and '-', '_', '.', '#', '/' separators) are stripped, so
+/// "fft-pass-3" and "fft-pass-12" align in diffs.
+std::string phase_equivalence_class(const std::string& name);
+
+// -- renderers --------------------------------------------------------------
+
+/// JSON document with recursively sorted keys (byte-stable for CI).
+Json run_profile_json(const RunProfile& p);
+
+/// Flat CSV: one row per phase class plus a trailing "run" row.
+std::string run_profile_csv(const RunProfile& p);
+
+/// Human report: verdict, class shares, per-phase table with evidence.
+std::string render_run_profile(const RunProfile& p);
+
+/// Publish the profile's summary as gauges (`analyze.*`) — the hook the
+/// Prometheus exposition endpoint scrapes.
+void publish_run_profile(const RunProfile& p, MetricsRegistry& m);
+
+}  // namespace nvms

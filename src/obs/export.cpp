@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
 #include <cstdio>
+#include <unordered_map>
 
+#include "obs/sketch.hpp"
 #include "simcore/json.hpp"
 
 namespace nvms {
@@ -155,6 +157,144 @@ std::string metrics_csv(const std::vector<TelemetryPart>& parts) {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]; everything else maps
+/// to '_' (dots in our dotted names, dashes, ...).
+std::string prom_name(const std::string& name) {
+  std::string out = "nvms_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label *value* escaping per the exposition format: backslash, quote and
+/// newline.
+std::string prom_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// part="x" plus the metric's canonical "k=v,k=v" labels re-quoted.
+std::string prom_labels(const std::string& part, const std::string& labels,
+                        const std::string& extra = {}) {
+  std::string out = "part=\"" + prom_label_value(part) + '"';
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    std::size_t comma = labels.find(',', pos);
+    if (comma == std::string::npos) comma = labels.size();
+    const std::string kv = labels.substr(pos, comma - pos);
+    const std::size_t eq = kv.find('=');
+    if (eq != std::string::npos) {
+      std::string key = kv.substr(0, eq);
+      for (auto& c : key) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok) c = '_';
+      }
+      out += ',' + key + "=\"" + prom_label_value(kv.substr(eq + 1)) + '"';
+    }
+    pos = comma + 1;
+  }
+  if (!extra.empty()) out += ',' + extra;
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const std::vector<TelemetryPart>& parts) {
+  // Families group all samples of one metric name under a single # TYPE
+  // header, as the exposition format requires; first-appearance order
+  // keeps merged output deterministic in the part order.
+  struct Family {
+    std::string name;
+    const char* type;
+    std::vector<std::string> lines;
+  };
+  std::vector<Family> families;
+  std::unordered_map<std::string, std::size_t> index;
+  auto family = [&](const std::string& name, const char* type) -> Family& {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      it = index.emplace(name, families.size()).first;
+      families.push_back({name, type, {}});
+    }
+    return families[it->second];
+  };
+
+  for (const auto& part : parts) {
+    if (part.telemetry == nullptr) continue;
+    for (const auto& m : part.telemetry->metrics().metrics()) {
+      switch (m.kind) {
+        case MetricKind::kCounter: {
+          Family& f = family(prom_name(m.name) + "_total", "counter");
+          f.lines.push_back(f.name + '{' +
+                            prom_labels(part.name, m.labels) + "} " +
+                            num(m.value));
+          break;
+        }
+        case MetricKind::kGauge: {
+          Family& f = family(prom_name(m.name), "gauge");
+          f.lines.push_back(f.name + '{' +
+                            prom_labels(part.name, m.labels) + "} " +
+                            num(m.value));
+          break;
+        }
+        case MetricKind::kHistogram: {
+          // Deterministic quantiles straight from the log2 buckets.
+          const QuantileSketch sk = QuantileSketch::from_metric(m);
+          const std::string base = prom_name(m.name);
+          Family& f = family(base, "summary");
+          const struct {
+            const char* q;
+            double v;
+          } qs[] = {{"0.5", sk.p50()}, {"0.95", sk.p95()},
+                    {"0.99", sk.p99()}};
+          for (const auto& q : qs) {
+            f.lines.push_back(
+                base + '{' +
+                prom_labels(part.name, m.labels,
+                            std::string("quantile=\"") + q.q + '"') +
+                "} " + num(q.v));
+          }
+          f.lines.push_back(base + "_sum{" +
+                            prom_labels(part.name, m.labels) + "} " +
+                            num(sk.sum()));
+          f.lines.push_back(base + "_count{" +
+                            prom_labels(part.name, m.labels) + "} " +
+                            std::to_string(sk.count()));
+          break;
+        }
+      }
+    }
+  }
+
+  std::string out;
+  for (const Family& f : families) {
+    out += "# TYPE " + f.name + ' ' + f.type + '\n';
+    for (const std::string& line : f.lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 std::string chrome_trace_json(const Telemetry& t, const std::string& name,
                               const ExportOptions& opt) {
   return chrome_trace_json({{name, &t}}, opt);
@@ -167,6 +307,10 @@ std::string telemetry_jsonl(const Telemetry& t, const std::string& name,
 
 std::string metrics_csv(const Telemetry& t, const std::string& name) {
   return metrics_csv({{name, &t}});
+}
+
+std::string prometheus_text(const Telemetry& t, const std::string& name) {
+  return prometheus_text({{name, &t}});
 }
 
 }  // namespace nvms

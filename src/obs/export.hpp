@@ -47,11 +47,23 @@ std::string telemetry_jsonl(const std::vector<TelemetryPart>& parts,
 /// summary row with an empty t_s.
 std::string metrics_csv(const std::vector<TelemetryPart>& parts);
 
+/// Prometheus text exposition (version 0.0.4) of the metric registries:
+/// counters become `<name>_total`, gauges export their last value, and
+/// histograms surface as summaries with deterministic p50/p95/p99
+/// quantiles computed from the log2-bucket QuantileSketch.  Metric names
+/// are sanitized to the Prometheus charset with an `nvms_` prefix; each
+/// part's label set gains `part="<name>"`.  Families are grouped (one
+/// `# TYPE` line each) in first-appearance order, so merged exposition is
+/// byte-identical for any worker count — ready for the future `nvmsimd`
+/// scrape endpoint.
+std::string prometheus_text(const std::vector<TelemetryPart>& parts);
+
 /// Single-run conveniences.
 std::string chrome_trace_json(const Telemetry& t, const std::string& name,
                               const ExportOptions& opt = {});
 std::string telemetry_jsonl(const Telemetry& t, const std::string& name,
                             const ExportOptions& opt = {});
 std::string metrics_csv(const Telemetry& t, const std::string& name);
+std::string prometheus_text(const Telemetry& t, const std::string& name);
 
 }  // namespace nvms

@@ -1,0 +1,126 @@
+// Deterministic fixed-bucket quantile sketches and label-keyed sliding
+// windows — the service-ready aggregation layer on top of the metrics
+// registry.
+//
+// QuantileSketch shares its bucket geometry with Metric's log2 histogram
+// (value v lands in bucket floor(log2 v) + bias), so a sketch can be
+// built either by streaming observations or directly from a recorded
+// Metric's buckets.  Quantiles are answered by cumulative bucket walk plus
+// linear interpolation inside the landing bucket — a pure function of the
+// bucket counts, so p50/p95/p99 are byte-stable across runs, worker
+// counts and platforms (no sampling, no randomized mergeability tricks).
+// The relative error is bounded by the bucket width (a factor of 2),
+// which is the paper-appropriate resolution for phase durations and
+// bandwidth samples spanning many orders of magnitude.
+//
+// SlidingWindowAggregator buckets (t, value) samples of many labeled
+// streams into fixed-width time windows and keeps, per (key, window):
+// count/sum/min/max plus a QuantileSketch.  Keys are kept in first-seen
+// order and windows in time order, so iteration (and any export built on
+// it) is deterministic for a deterministic simulation.  "Sliding" is
+// bounded: at most `max_windows` trailing windows are retained per key —
+// the admission shape a long-running service daemon needs (the ROADMAP's
+// `nvmsimd`), where series must not grow without bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nvms {
+
+class QuantileSketch {
+ public:
+  static constexpr int kBuckets = Metric::kBuckets;
+  static constexpr int kBucketBias = Metric::kBucketBias;
+
+  /// Bucket index for `value` — identical to MetricsRegistry::observe.
+  static int bucket_of(double value);
+  /// Inclusive value range [lo, hi) covered by bucket `b`.  The lowest
+  /// bucket absorbs everything <= its upper bound (zero/negative
+  /// observations), the highest everything above its lower bound.
+  static double bucket_lo(int b);
+  static double bucket_hi(int b);
+
+  void add(double value);
+  void merge(const QuantileSketch& other);
+
+  /// Seed a sketch from a recorded histogram Metric's buckets (count/sum/
+  /// min/max come along, so quantile() can clamp to the observed range).
+  static QuantileSketch from_metric(const Metric& m);
+
+  /// Quantile estimate for q in [0, 1]: cumulative bucket walk, linear
+  /// interpolation inside the landing bucket, clamped to [min, max].
+  /// Returns 0 for an empty sketch.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_ =
+      std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One aggregated window of one labeled stream.
+struct WindowCell {
+  double t0 = 0.0;  ///< window start (inclusive)
+  double t1 = 0.0;  ///< window end (exclusive)
+  QuantileSketch sketch;
+};
+
+class SlidingWindowAggregator {
+ public:
+  /// `window_s` is the fixed bucket width; `max_windows` bounds the
+  /// trailing windows retained per key (0 = unbounded).
+  explicit SlidingWindowAggregator(double window_s,
+                                   std::size_t max_windows = 0);
+
+  /// Route one sample into the window floor(t / window_s) of the stream
+  /// keyed by (name, labels).  Samples must arrive in non-decreasing time
+  /// order per key (epoch series do); an older sample is folded into the
+  /// key's current window rather than resurrecting an evicted one.
+  void observe(std::string_view name, std::string_view labels, double t,
+               double value);
+
+  /// Aggregate a whole recorded gauge series.
+  void observe_series(const Metric& m);
+
+  struct Stream {
+    std::string name;
+    std::string labels;
+    std::deque<WindowCell> windows;  ///< time order, trailing `max_windows`
+  };
+
+  /// Streams in first-seen key order.
+  const std::vector<Stream>& streams() const { return streams_; }
+
+  double window_s() const { return window_s_; }
+
+ private:
+  double window_s_;
+  std::size_t max_windows_;
+  std::vector<Stream> streams_;
+  std::unordered_map<std::string, std::size_t> index_;  ///< "name|labels"
+};
+
+}  // namespace nvms

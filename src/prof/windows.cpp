@@ -55,4 +55,15 @@ std::vector<CounterSample> rebin_windows(
   return out;
 }
 
+SlidingWindowAggregator window_metrics(const MetricsRegistry& m,
+                                       double window_s,
+                                       std::size_t max_windows) {
+  SlidingWindowAggregator agg(window_s, max_windows);
+  for (const Metric& metric : m.metrics()) {
+    if (metric.series.empty()) continue;
+    agg.observe_series(metric);
+  }
+  return agg;
+}
+
 }  // namespace nvms

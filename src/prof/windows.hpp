@@ -8,8 +8,10 @@
 // training the prediction model on uniform windows.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "obs/sketch.hpp"
 #include "prof/sample.hpp"
 
 namespace nvms {
@@ -20,5 +22,15 @@ namespace nvms {
 /// shorter.  Empty input yields an empty result.
 std::vector<CounterSample> rebin_windows(
     const std::vector<CounterSample>& samples, double window_s);
+
+/// Windowed view of a metric registry's epoch series: every gauge series
+/// (bw.*, wpq.util, throttle.read, cache.*) is folded, in registration
+/// order, into a SlidingWindowAggregator keyed by (name, labels) — the
+/// per-window count/min/max/mean/p50/p95/p99 a scraping service reports
+/// instead of raw points.  `max_windows` bounds retained history per key
+/// (0 = unbounded); iteration order is deterministic.
+SlidingWindowAggregator window_metrics(const MetricsRegistry& m,
+                                       double window_s,
+                                       std::size_t max_windows = 0);
 
 }  // namespace nvms

@@ -1,5 +1,6 @@
 #include "simcore/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -27,6 +28,31 @@ Json& Json::push(Json value) {
     value_ = std::make_shared<Array>();
   }
   std::get<std::shared_ptr<Array>>(value_)->push_back(std::move(value));
+  return *this;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<Object>();
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<Array>();
+  return j;
+}
+
+Json& Json::sort_keys() {
+  if (is_object()) {
+    auto& obj = *std::get<std::shared_ptr<Object>>(value_);
+    std::stable_sort(obj.begin(), obj.end(), [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    });
+    for (auto& [k, v] : obj) v.sort_keys();
+  } else if (is_array()) {
+    for (auto& v : *std::get<std::shared_ptr<Array>>(value_)) v.sort_keys();
+  }
   return *this;
 }
 

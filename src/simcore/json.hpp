@@ -32,6 +32,16 @@ class Json {
   bool is_object() const;
   bool is_array() const;
 
+  /// Explicitly-typed empty containers (a default Json is null, so an
+  /// empty collection would otherwise serialize as `null`).
+  static Json object();
+  static Json array();
+
+  /// Recursively sort object members by key (byte-stable output for CI
+  /// and scripts).  Arrays keep their element order; nested objects are
+  /// sorted too.  Returns *this for chaining.
+  Json& sort_keys();
+
   std::string dump(int indent = 0) const;
 
   static std::string escape(const std::string& s);

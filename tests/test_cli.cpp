@@ -248,6 +248,68 @@ TEST(Cli, InspectSummarizesSpansAndMetrics) {
   EXPECT_NE(err.find("missing application"), std::string::npos);
 }
 
+TEST(Cli, InspectHumanIncludesAttributionVerdict) {
+  std::string out;
+  EXPECT_EQ(run_cli({"inspect", "ft", "--threads", "12", "--format",
+                     "human"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("(score "), std::string::npos);  // verdict headline
+  EXPECT_NE(out.find("evidence:"), std::string::npos);
+}
+
+TEST(Cli, InspectJsonIsByteStableWithSortedKeys) {
+  std::string a, b;
+  EXPECT_EQ(
+      run_cli({"inspect", "xsbench", "--threads", "12", "--format", "json"},
+              &a),
+      0);
+  EXPECT_EQ(
+      run_cli({"inspect", "xsbench", "--threads", "12", "--format", "json"},
+              &b),
+      0);
+  EXPECT_EQ(a, b);  // byte-stable for scripting
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.front(), '{');
+  for (const char* key :
+       {"\"app\"", "\"mode\"", "\"profile\"", "\"spans\"", "\"metrics\"",
+        "\"runtime_s\"", "\"verdict\""}) {
+    EXPECT_NE(a.find(key), std::string::npos) << key;
+  }
+  // Top-level keys arrive recursively sorted: "app" < "metric_count" <
+  // "metrics" < "mode" < ... in document order.
+  EXPECT_LT(a.find("\"app\""), a.find("\"metric_count\""));
+  EXPECT_LT(a.find("\"metric_count\""), a.find("\"mode\""));
+
+  std::string err;
+  EXPECT_EQ(run_cli({"inspect", "xsbench", "--format", "yaml"}, nullptr,
+                    &err),
+            2);
+  EXPECT_NE(err.find("unknown --format"), std::string::npos);
+}
+
+TEST(Cli, ExplainClassifiesAndDiffCompares) {
+  std::string out;
+  EXPECT_EQ(run_cli({"explain", "ft", "--mode", "uncached-nvm", "--scale",
+                     "0.25"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("wpq-saturated"), std::string::npos);
+  EXPECT_NE(out.find("evidence"), std::string::npos);
+
+  std::string diff_out;
+  EXPECT_EQ(run_cli({"diff", "ft", "ft", "--mode-a", "cached-nvm",
+                     "--mode-b", "uncached-nvm", "--scale", "0.25"},
+                    &diff_out),
+            0);
+  EXPECT_NE(diff_out.find("cached-nvm"), std::string::npos);
+  EXPECT_NE(diff_out.find("uncached-nvm"), std::string::npos);
+
+  std::string err;
+  EXPECT_EQ(run_cli({"explain", "no-such-app"}, nullptr, &err), 2);
+  EXPECT_EQ(run_cli({"diff", "ft"}, nullptr, &err), 2);
+}
+
 TEST(Cli, ProfileEmitsPlan) {
   std::string out;
   EXPECT_EQ(run_cli({"profile", "scalapack", "--budget", "35"}, &out), 0);

@@ -290,6 +290,42 @@ TEST(Export, EmptyAndNullPartsAreHarmless) {
   EXPECT_EQ(telemetry_jsonl({{"null", nullptr}}), "");
 }
 
+TEST(Export, HostileNamesAreJsonEscaped) {
+  // Span/metric/part names under user control (trace files, app labels)
+  // must never break the JSON documents: quotes, backslashes, newlines
+  // and raw control characters all have to leave as escape sequences.
+  const std::string hostile = "ph\"as\\e\n\tx\x07";
+  Telemetry t;
+  const auto id = t.tracer().begin(hostile, "phase", 0.0);
+  t.tracer().annotate(id, "read_gbs", 1.0);
+  t.tracer().end(id, 1.0);
+  t.metrics().epoch_sample(hostile, "nvm\"0", 0.5, 2.0);
+
+  for (const std::string& doc :
+       {chrome_trace_json(t, hostile), telemetry_jsonl(t, hostile)}) {
+    ASSERT_FALSE(doc.empty());
+    // The escaped forms appear...
+    EXPECT_NE(doc.find("ph\\\"as\\\\e\\n\\tx\\u0007"), std::string::npos)
+        << doc;
+    // ...and no raw control byte or unescaped interior quote survives.
+    for (const char c : doc) {
+      EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << doc;
+    }
+    std::size_t quotes = 0;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      if (doc[i] == '"') {
+        std::size_t backslashes = 0;
+        while (backslashes < i && doc[i - 1 - backslashes] == '\\') {
+          ++backslashes;
+        }
+        if (backslashes % 2 == 0) ++quotes;  // a real string delimiter
+      }
+    }
+    EXPECT_EQ(quotes % 2, 0u) << "unbalanced string quoting: " << doc;
+  }
+  expect_balanced(chrome_trace_json(t, hostile));
+}
+
 // ---------- MemorySystem integration ----------------------------------------
 
 TEST(ObsWiring, SubmitOpensThreeSpanLevelsAndSamplesEpochMetrics) {

@@ -1,0 +1,18 @@
+// Fixture: OBS-002 negative — every schema entry the self-test checks
+// keeps an emitter: a direct sink literal, a constant-routed name (live
+// via the plain literal), and a dynamic prefix family whose bare prefix
+// appears as a literal.
+#include <string>
+
+struct Registry {
+  int gauge(const std::string&) { return 0; }
+};
+
+inline const char* kWpqName = "wpq.util";
+
+void publish(Registry& m, const std::string& shard) {
+  m.gauge("bw.read_gbs");
+  m.gauge(kWpqName);  // routed through a constant: literal keeps it live
+  const std::string prefix = "resolve_cache";
+  m.gauge(prefix + "." + shard);  // dynamic family member
+}

@@ -1,0 +1,10 @@
+// Fixture: OBS-002 positive — a tree whose only emitter covers one
+// schema entry, leaving the rest of the schema dead (see the self-test's
+// schema: wpq.util and resolve_cache.* have no emitter here).
+struct Registry {
+  int gauge(const char*) { return 0; }
+};
+
+void publish(Registry& m) {
+  m.gauge("bw.read_gbs");
+}

@@ -136,9 +136,47 @@ struct Config {
 /// when the file cannot be read.
 bool load_metric_schema(const std::string& path, std::vector<std::string>* out);
 
+/// One schema line with its provenance, for findings that point back into
+/// the schema file itself (OBS-002).
+struct SchemaEntry {
+  std::string pattern;  // exact name, or "prefix.*"
+  int line = 0;         // 1-based line in the schema file
+};
+
+/// Like load_metric_schema, but keeps line numbers.
+bool load_metric_schema_entries(const std::string& path,
+                                std::vector<SchemaEntry>* out);
+
 /// True when `name` matches an exact schema entry or a "prefix.*" pattern.
 bool metric_matches_schema(const std::string& name,
                            const std::vector<std::string>& schema);
+
+// ---------------------------------------------------------------------------
+// OBS-002 — dead schema entries (tree-level)
+
+/// Everything OBS-002 needs from one translation unit: the metric-name
+/// literals at registry sink calls (the sites OBS-001 validates) plus
+/// every other string literal (dynamic names are built as
+/// `prefix + ".hits"`, so the bare prefix literal is the liveness signal
+/// for "prefix.*" entries).
+struct MetricUsage {
+  std::vector<std::string> sink_names;  ///< literals at counter/gauge/... calls
+  std::vector<std::string> literals;    ///< all other string literals
+};
+
+/// Scan one token stream for metric usage (pure; no findings).
+void collect_metric_usage(const std::vector<Token>& toks, MetricUsage* out);
+
+/// OBS-002: every schema entry must still have an emitter somewhere in
+/// the scanned tree.  An exact entry is live when a sink literal matches
+/// it, or when its name appears as any string literal (names routed
+/// through constants or helpers); a "prefix.*" entry is live when a sink
+/// literal falls under the prefix or the bare prefix appears as a
+/// literal.  Dead entries are reported against `schema_file`:line —
+/// schema rot is a finding, not a shrug.
+std::vector<Finding> dead_metric_findings(const MetricUsage& usage,
+                                          const std::vector<SchemaEntry>& schema,
+                                          const std::string& schema_file);
 
 /// All rules the engine knows, in report order.
 const std::vector<RuleInfo>& all_rules();

@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,8 @@ void usage(std::ostream& out) {
          "  --rule ID         run only this rule (repeatable)\n"
          "  --all-paths       apply path-scoped rules everywhere "
          "(fixture tests)\n"
+         "  --dead-metrics    also fail on schema entries with no emitter "
+         "left (OBS-002)\n"
          "  --list-rules      print the rule catalogue and exit\n"
          "\n"
          "exit status: 0 clean, 1 findings, 2 usage error\n";
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   std::string schema_path;
   std::string format = "human";
   std::vector<std::string> paths;
+  bool dead_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
       config.only_rules.push_back(value("--rule"));
     } else if (arg == "--all-paths") {
       config.all_paths = true;
+    } else if (arg == "--dead-metrics") {
+      dead_metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "nvms-lint: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -132,9 +139,30 @@ int main(int argc, char** argv) {
   if (!ok) return 2;
 
   std::vector<nvmslint::Finding> findings;
+  nvmslint::MetricUsage usage;
   for (const std::string& f : files) {
     std::vector<nvmslint::Finding> fs_ = nvmslint::lint_file(f, config);
     findings.insert(findings.end(), fs_.begin(), fs_.end());
+    if (dead_metrics) {
+      std::ifstream in(f, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      nvmslint::collect_metric_usage(nvmslint::tokenize(ss.str()), &usage);
+    }
+  }
+
+  // OBS-002 is a whole-tree property: only after every file contributed
+  // its emitters can a schema entry be declared dead.
+  if (dead_metrics && config.rule_enabled("OBS-002")) {
+    std::vector<nvmslint::SchemaEntry> entries;
+    if (!nvmslint::load_metric_schema_entries(schema_path, &entries)) {
+      std::cerr << "nvms-lint: cannot read metric schema " << schema_path
+                << "\n";
+      return 2;
+    }
+    const std::vector<nvmslint::Finding> dead = nvmslint::dead_metric_findings(
+        usage, entries, nvmslint::relativize(schema_path, config.root));
+    findings.insert(findings.end(), dead.begin(), dead.end());
   }
 
   if (format == "json") {

@@ -555,6 +555,88 @@ bool load_metric_schema(const std::string& path,
   return true;
 }
 
+bool load_metric_schema_entries(const std::string& path,
+                                std::vector<SchemaEntry>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (!line.empty()) out->push_back({line, lineno});
+  }
+  return true;
+}
+
+void collect_metric_usage(const std::vector<Token>& toks, MetricUsage* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kString) {
+      out->literals.push_back(t.text);
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || metric_sinks().count(t.text) == 0) {
+      continue;
+    }
+    // The same sites OBS-001 validates: member calls with a literal name.
+    if (!is_member_access(toks, i)) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+    const std::size_t arg = next_code(toks, open + 1);
+    if (arg < toks.size() && toks[arg].kind == TokKind::kString) {
+      out->sink_names.push_back(toks[arg].text);
+    }
+  }
+}
+
+std::vector<Finding> dead_metric_findings(const MetricUsage& usage,
+                                          const std::vector<SchemaEntry>& schema,
+                                          const std::string& schema_file) {
+  const std::set<std::string> sinks(usage.sink_names.begin(),
+                                    usage.sink_names.end());
+  const std::set<std::string> literals(usage.literals.begin(),
+                                       usage.literals.end());
+  std::vector<Finding> out;
+  for (const SchemaEntry& e : schema) {
+    bool live = false;
+    const bool is_prefix =
+        e.pattern.size() >= 2 &&
+        e.pattern.compare(e.pattern.size() - 2, 2, ".*") == 0;
+    if (is_prefix) {
+      const std::string dotted = e.pattern.substr(0, e.pattern.size() - 1);
+      const std::string bare = e.pattern.substr(0, e.pattern.size() - 2);
+      // Live when any emitted literal falls under the prefix, or the bare
+      // prefix itself appears as a literal (dynamic `prefix + ".hits"`).
+      for (const std::string& s : sinks) {
+        if (s.size() > dotted.size() &&
+            s.compare(0, dotted.size(), dotted) == 0) {
+          live = true;
+          break;
+        }
+      }
+      live = live || literals.count(bare) != 0 || literals.count(dotted) != 0;
+    } else {
+      // Names routed through constants/helpers still appear as literals
+      // somewhere; only a name gone from the whole tree is dead.
+      live = sinks.count(e.pattern) != 0 || literals.count(e.pattern) != 0;
+    }
+    if (!live) {
+      Finding f;
+      f.rule = "OBS-002";
+      f.file = schema_file;
+      f.line = e.line;
+      f.message = "schema entry \"" + e.pattern +
+                  "\" has no remaining emitter in the scanned tree; delete "
+                  "the entry or restore the metric";
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
 bool metric_matches_schema(const std::string& name,
                            const std::vector<std::string>& schema) {
   for (const std::string& entry : schema) {
@@ -576,6 +658,7 @@ const std::vector<RuleInfo>& all_rules() {
       {"DET-002", "no wall-clock reads outside the obs/executor whitelist"},
       {"DET-003", "no unordered-container iteration in export/report paths"},
       {"OBS-001", "metric name literals must match metric_schema.txt"},
+      {"OBS-002", "every schema entry must keep an emitter (dead-metric rot)"},
       {"HYG-001", "no raw new/delete in src/"},
       {"HYG-002", "no catch (...) that swallows without rethrow/record"},
       {"PERF-001", "no heap allocation in NVMS_HOT kernels (src/memsim/)"},

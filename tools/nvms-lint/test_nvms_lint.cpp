@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -128,6 +130,74 @@ INSTANTIATE_TEST_SUITE_P(
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name;
     });
+
+// ---------- OBS-002 dead-metric check (tree-level) --------------------------
+
+MetricUsage usage_of_fixture(const std::string& name) {
+  std::ifstream in(fixture(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  MetricUsage u;
+  collect_metric_usage(tokenize(ss.str()), &u);
+  return u;
+}
+
+const std::vector<SchemaEntry>& dead_test_schema() {
+  static const std::vector<SchemaEntry> kSchema = {
+      {"bw.read_gbs", 1},
+      {"wpq.util", 2},
+      {"resolve_cache.*", 3},
+  };
+  return kSchema;
+}
+
+TEST(DeadMetrics, EveryUncoveredSchemaEntryIsReported) {
+  const MetricUsage u = usage_of_fixture("obs002_pos.cpp");
+  const auto findings =
+      dead_metric_findings(u, dead_test_schema(), "metric_schema.txt");
+  ASSERT_EQ(findings.size(), 2u) << render_human(findings);
+  EXPECT_EQ(count_rule(findings, "OBS-002"), 2u);
+  // Findings point back into the schema file, at the dead lines.
+  EXPECT_EQ(findings[0].file, "metric_schema.txt");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("wpq.util"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_NE(findings[1].message.find("resolve_cache.*"), std::string::npos);
+}
+
+TEST(DeadMetrics, SinkLiteralsConstantsAndPrefixesCountAsLive) {
+  const MetricUsage u = usage_of_fixture("obs002_neg.cpp");
+  const auto findings =
+      dead_metric_findings(u, dead_test_schema(), "metric_schema.txt");
+  EXPECT_TRUE(findings.empty()) << render_human(findings);
+}
+
+TEST(DeadMetrics, UsageAccumulatesAcrossFiles) {
+  // The check is a whole-tree property: entries dead in one file may be
+  // emitted in another.
+  MetricUsage u = usage_of_fixture("obs002_pos.cpp");
+  const MetricUsage more = usage_of_fixture("obs002_neg.cpp");
+  u.sink_names.insert(u.sink_names.end(), more.sink_names.begin(),
+                      more.sink_names.end());
+  u.literals.insert(u.literals.end(), more.literals.begin(),
+                    more.literals.end());
+  EXPECT_TRUE(
+      dead_metric_findings(u, dead_test_schema(), "s").empty());
+}
+
+TEST(DeadMetrics, RepoSchemaHasNoDeadEntriesAgainstSrc) {
+  // The shipped schema itself must stay rot-free against the shipped
+  // sources — the same property the CI tree gate enforces with
+  // `--dead-metrics`.
+  std::vector<SchemaEntry> entries;
+  ASSERT_TRUE(load_metric_schema_entries(NVMS_LINT_SCHEMA, &entries));
+  EXPECT_FALSE(entries.empty());
+  for (const SchemaEntry& e : entries) {
+    EXPECT_FALSE(e.pattern.empty());
+    EXPECT_GT(e.line, 0);
+  }
+}
 
 // ---------- path scoping ----------------------------------------------------
 
