@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli/options.hpp"
+#include "cli/parse.hpp"
 #include "harness/registry.hpp"
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
@@ -22,6 +23,7 @@
 #include "placement/write_aware.hpp"
 #include "prof/data_profile.hpp"
 #include "replay/recording.hpp"
+#include "simcore/error.hpp"
 #include "simcore/json.hpp"
 #include "simcore/table.hpp"
 #include "simcore/units.hpp"
@@ -97,6 +99,12 @@ commands:
       --jobs N              parallel candidate evaluation workers
                             (plan and tables are identical for any N)
       --min-gain G          stop below this relative gain (default 1e-3)
+  serve                     nvmsimd: long-running service answering JSONL
+                            requests over a socket (docs/SERVICE.md)
+      --socket PATH | --port N       listen endpoint
+      --workers N --queue N --client-budget N
+  client                    send JSONL requests from stdin to a daemon
+      --socket PATH | --host H --port N
 )";
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -210,7 +218,8 @@ int cmd_devices(std::ostream& out) {
   return 0;
 }
 
-int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
+int cmd_run(const Options& opt, std::ostream& out, std::ostream& err,
+            const CommandContext* ctx) {
   if (opt.positional().empty()) {
     err << "run: missing application name\n";
     return 2;
@@ -247,15 +256,23 @@ int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
   const std::string metrics_out = opt.get("metrics-out", "");
   Telemetry telemetry;
   const bool want_telemetry = !trace_out.empty() || !metrics_out.empty();
-  // A single run has nothing to share across: both non-off modes are one
-  // private cache reused across the run's phases.
+  // A single one-shot run has nothing to share across: both non-off modes
+  // are one private cache reused across the run's phases.  Under a
+  // daemon, shared mode instead borrows the process-lifetime cache so the
+  // next request over the same app starts warm.
   std::optional<ResolveCache> cache;
-  if (*cache_mode != ResolveCacheMode::kOff) cache.emplace(/*shards=*/1);
-  const AppResult r =
-      run_app_on(app, sys_cfg, cfg, want_telemetry ? &telemetry : nullptr,
-                 cache.has_value() ? &*cache : nullptr);
-  if (cache.has_value()) {
-    report_cache_stats(cache->stats(), cache->stream_stats(), err);
+  ResolveCache* use_cache = nullptr;
+  if (*cache_mode == ResolveCacheMode::kShared && ctx != nullptr &&
+      ctx->shared_cache != nullptr) {
+    use_cache = ctx->shared_cache;
+  } else if (*cache_mode != ResolveCacheMode::kOff) {
+    cache.emplace(/*shards=*/1);
+    use_cache = &*cache;
+  }
+  const AppResult r = run_app_on(
+      app, sys_cfg, cfg, want_telemetry ? &telemetry : nullptr, use_cache);
+  if (use_cache != nullptr) {
+    report_cache_stats(use_cache->stats(), use_cache->stream_stats(), err);
   }
 
   if (!trace_out.empty() &&
@@ -324,7 +341,8 @@ int cmd_run(const Options& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
+int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err,
+              const CommandContext* ctx) {
   if (opt.positional().empty()) {
     err << "sweep: missing application name\n";
     return 2;
@@ -343,15 +361,24 @@ int cmd_sweep(const Options& opt, std::ostream& out, std::ostream& err) {
   SweepSpec spec;
   spec.app = app;
   spec.modes = modes;
-  spec.threads.clear();
-  for (const auto& t : split_csv(opt.get("threads", "12,24,36,48"))) {
-    spec.threads.push_back(std::stoi(t));
+  // Checked CSV parsing: "12,abc" used to reach an unguarded std::stoi
+  // and kill the process with an uncaught std::invalid_argument.
+  std::string why;
+  const auto threads =
+      parse_int_csv(opt.get("threads", "12,24,36,48"), /*min=*/1, &why);
+  if (!threads) {
+    err << "sweep: bad --threads: " << why << "\n";
+    return 2;
   }
+  spec.threads = *threads;
   spec.scales = {opt.get_double("scale", 1.0)};
   spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
   const auto cache_mode = cache_mode_from(opt, err, "sweep");
   if (!cache_mode) return 2;
   spec.resolve_cache = *cache_mode;
+  if (*cache_mode == ResolveCacheMode::kShared && ctx != nullptr) {
+    spec.external_cache = ctx->shared_cache;
+  }
   const std::string trace_out = opt.get("trace-out", "");
   const std::string metrics_out = opt.get("metrics-out", "");
   const std::string jsonl_out = opt.get("jsonl", "");
@@ -665,46 +692,6 @@ int cmd_replay(const Options& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-// Parse --budget: "35%" (of the testbed's per-socket DRAM), a plain byte
-// count, or a byte count with a KiB/MiB/GiB suffix.
-std::optional<std::uint64_t> parse_budget(const std::string& s,
-                                          std::uint64_t dram_capacity,
-                                          std::ostream& err) {
-  std::size_t pos = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  const std::string suffix = s.substr(pos);
-  if (pos == 0 || value < 0.0) {
-    err << "optimize: bad --budget '" << s << "'\n";
-    return std::nullopt;
-  }
-  if (suffix == "%") {
-    if (value <= 0.0 || value > 100.0) {
-      err << "optimize: --budget percent must be in (0,100]\n";
-      return std::nullopt;
-    }
-    return static_cast<std::uint64_t>(static_cast<double>(dram_capacity) *
-                                      value / 100.0);
-  }
-  double mult = 1.0;
-  if (suffix == "KiB") {
-    mult = static_cast<double>(KiB);
-  } else if (suffix == "MiB") {
-    mult = static_cast<double>(MiB);
-  } else if (suffix == "GiB") {
-    mult = static_cast<double>(GiB);
-  } else if (!suffix.empty()) {
-    err << "optimize: bad --budget suffix '" << suffix
-        << "' (want %, KiB, MiB or GiB)\n";
-    return std::nullopt;
-  }
-  return static_cast<std::uint64_t>(value * mult);
-}
-
 bool is_registered_app(const std::string& name) {
   for (const auto& a : app_names())
     if (a == name) return true;
@@ -723,6 +710,7 @@ std::optional<RunProfile> profile_of_target(const std::string& target,
                                             const Options& opt,
                                             std::ostream& err,
                                             const char* cmd,
+                                            const CommandContext* ctx,
                                             const char* mode_opt = "mode") {
   const auto mode =
       parse_mode(opt.get(mode_opt, opt.get("mode", "uncached-nvm")));
@@ -743,7 +731,10 @@ std::optional<RunProfile> profile_of_target(const std::string& target,
     Telemetry telemetry;
     sys.set_telemetry(&telemetry);
     std::optional<ResolveCache> cache;
-    if (*cache_mode != ResolveCacheMode::kOff) {
+    if (*cache_mode == ResolveCacheMode::kShared && ctx != nullptr &&
+        ctx->shared_cache != nullptr) {
+      sys.set_resolve_cache(ctx->shared_cache);
+    } else if (*cache_mode != ResolveCacheMode::kOff) {
       cache.emplace(/*shards=*/1);
       sys.set_resolve_cache(&*cache);
     }
@@ -764,6 +755,9 @@ std::optional<RunProfile> profile_of_target(const std::string& target,
   spec.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
   spec.telemetry = true;
   spec.resolve_cache = *cache_mode;
+  if (*cache_mode == ResolveCacheMode::kShared && ctx != nullptr) {
+    spec.external_cache = ctx->shared_cache;
+  }
   const auto result = run_sweep(spec);
   if (result.rows.empty()) {
     err << cmd << ": configuration skipped"
@@ -775,13 +769,14 @@ std::optional<RunProfile> profile_of_target(const std::string& target,
   return sweep_profile(result, target);
 }
 
-int cmd_explain(const Options& opt, std::ostream& out, std::ostream& err) {
+int cmd_explain(const Options& opt, std::ostream& out, std::ostream& err,
+                const CommandContext* ctx) {
   if (opt.positional().empty()) {
     err << "explain: missing application name or trace file\n";
     return 2;
   }
   const auto profile =
-      profile_of_target(opt.positional()[0], opt, err, "explain");
+      profile_of_target(opt.positional()[0], opt, err, "explain", ctx);
   if (!profile) return 2;
   const std::string format = opt.get("format", "human");
   if (format == "human") {
@@ -807,7 +802,8 @@ int cmd_explain(const Options& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_diff(const Options& opt, std::ostream& out, std::ostream& err) {
+int cmd_diff(const Options& opt, std::ostream& out, std::ostream& err,
+             const CommandContext* ctx) {
   if (opt.positional().size() < 2) {
     err << "diff: need two applications or trace files\n";
     return 2;
@@ -816,10 +812,10 @@ int cmd_diff(const Options& opt, std::ostream& out, std::ostream& err) {
   // --mode-a cached-nvm --mode-b uncached-nvm` asks why Memory mode and
   // App-Direct diverge on the same application).
   const auto a =
-      profile_of_target(opt.positional()[0], opt, err, "diff", "mode-a");
+      profile_of_target(opt.positional()[0], opt, err, "diff", ctx, "mode-a");
   if (!a) return 2;
   const auto b =
-      profile_of_target(opt.positional()[1], opt, err, "diff", "mode-b");
+      profile_of_target(opt.positional()[1], opt, err, "diff", ctx, "mode-b");
   if (!b) return 2;
   const RunDiff d = diff_profiles(*a, *b);
   const std::string format = opt.get("format", "human");
@@ -878,9 +874,15 @@ int cmd_optimize(const Options& opt, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
-  const auto budget =
-      parse_budget(opt.get("budget", "35%"), sys_cfg.dram.capacity, err);
-  if (!budget) return 2;
+  // Checked budget parsing (cli/parse.hpp): "10xyz" or "1.5q" used to be
+  // silently truncated by std::stod's partial match; now they're errors.
+  std::string why;
+  const auto budget = parse_budget_spec(opt.get("budget", "35%"),
+                                        sys_cfg.dram.capacity, &why);
+  if (!budget) {
+    err << "optimize: bad --budget: " << why << "\n";
+    return 2;
+  }
 
   TraceOptimizerOptions oopt;
   oopt.jobs = static_cast<int>(opt.get_int_at_least("jobs", 0, 0));
@@ -927,52 +929,79 @@ int cmd_optimize(const Options& opt, std::ostream& out, std::ostream& err) {
 
 }  // namespace
 
+int run_command(const std::string& cmd, const Options& opt,
+                std::ostream& out, std::ostream& err,
+                const CommandContext* ctx) {
+  int rc;
+  if (cmd == "list") {
+    rc = cmd_list(out);
+  } else if (cmd == "devices") {
+    rc = cmd_devices(out);
+  } else if (cmd == "run") {
+    rc = cmd_run(opt, out, err, ctx);
+  } else if (cmd == "sweep") {
+    rc = cmd_sweep(opt, out, err, ctx);
+  } else if (cmd == "inspect") {
+    rc = cmd_inspect(opt, out, err);
+  } else if (cmd == "explain") {
+    rc = cmd_explain(opt, out, err, ctx);
+  } else if (cmd == "diff") {
+    rc = cmd_diff(opt, out, err, ctx);
+  } else if (cmd == "profile") {
+    rc = cmd_profile(opt, out, err);
+  } else if (cmd == "record") {
+    rc = cmd_record(opt, out, err);
+  } else if (cmd == "replay") {
+    rc = cmd_replay(opt, out, err);
+  } else if (cmd == "optimize") {
+    rc = cmd_optimize(opt, out, err);
+  } else if (cmd == "help" || cmd == "--help") {
+    out << kUsage;
+    rc = 0;
+  } else {
+    err << "unknown command '" << cmd << "'\n" << kUsage;
+    return 2;
+  }
+  for (const auto& key : opt.unused()) {
+    err << "warning: unused option --" << key << "\n";
+  }
+  return rc;
+}
+
+int run_command_guarded(const std::string& cmd, const Options& opt,
+                        std::ostream& out, std::ostream& err,
+                        const CommandContext* ctx) {
+  try {
+    return run_command(cmd, opt, out, err, ctx);
+  } catch (const ConfigError& e) {
+    // Bad input is a usage error, same as malformed option syntax.
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Last-resort net: under nvmsimd one malformed request must never
+    // take the process (and every other tenant's warm cache) down.
+    err << "internal error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cli_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
     err << kUsage;
     return 2;
   }
   const std::string cmd = argv[1];
+  std::optional<Options> opt;
   try {
-    const Options opt = Options::parse(argc, argv, 2);
-    int rc;
-    if (cmd == "list") {
-      rc = cmd_list(out);
-    } else if (cmd == "devices") {
-      rc = cmd_devices(out);
-    } else if (cmd == "run") {
-      rc = cmd_run(opt, out, err);
-    } else if (cmd == "sweep") {
-      rc = cmd_sweep(opt, out, err);
-    } else if (cmd == "inspect") {
-      rc = cmd_inspect(opt, out, err);
-    } else if (cmd == "explain") {
-      rc = cmd_explain(opt, out, err);
-    } else if (cmd == "diff") {
-      rc = cmd_diff(opt, out, err);
-    } else if (cmd == "profile") {
-      rc = cmd_profile(opt, out, err);
-    } else if (cmd == "record") {
-      rc = cmd_record(opt, out, err);
-    } else if (cmd == "replay") {
-      rc = cmd_replay(opt, out, err);
-    } else if (cmd == "optimize") {
-      rc = cmd_optimize(opt, out, err);
-    } else if (cmd == "help" || cmd == "--help") {
-      out << kUsage;
-      rc = 0;
-    } else {
-      err << "unknown command '" << cmd << "'\n" << kUsage;
-      return 2;
-    }
-    for (const auto& key : opt.unused()) {
-      err << "warning: unused option --" << key << "\n";
-    }
-    return rc;
+    opt.emplace(Options::parse(argc, argv, 2));
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
-    return 1;
+    return 2;
   }
+  return run_command_guarded(cmd, *opt, out, err);
 }
 
 }  // namespace nvms

@@ -1,8 +1,23 @@
 // Entry point of the nvmsim command-line driver.
+//
+// The service-mode commands (`serve`, `client`) are routed here, before
+// cli_main, so the cli module never depends on the serve module (serve
+// links cli, not the other way around).
 #include <iostream>
+#include <string>
 
 #include "cli/driver.hpp"
+#include "serve/daemon.hpp"
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "serve") {
+      return nvms::serve_main(argc, argv, std::cout, std::cerr);
+    }
+    if (cmd == "client") {
+      return nvms::client_main(argc, argv, std::cin, std::cout, std::cerr);
+    }
+  }
   return nvms::cli_main(argc, argv, std::cout, std::cerr);
 }

@@ -1,7 +1,8 @@
 #include "cli/options.hpp"
 
-#include <cstdlib>
+#include <utility>
 
+#include "cli/parse.hpp"
 #include "simcore/error.hpp"
 
 namespace nvms {
@@ -30,6 +31,14 @@ Options Options::parse(int argc, char** argv, int first) {
   return o;
 }
 
+Options Options::from_map(std::map<std::string, std::string> kv,
+                          std::vector<std::string> positionals) {
+  Options o;
+  o.kv_ = std::move(kv);
+  o.positional_ = std::move(positionals);
+  return o;
+}
+
 std::string Options::get(const std::string& key,
                          const std::string& fallback) const {
   touched_[key] = true;
@@ -41,12 +50,13 @@ long Options::get_int(const std::string& key, long fallback) const {
   touched_[key] = true;
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(it->second.c_str(), &end, 10);
-  require(end != nullptr && *end == '\0',
+  // parse_long consumes the whole value or rejects it: trailing garbage
+  // ("10xyz") and out-of-range values fail instead of truncating.
+  const auto v = parse_long(it->second);
+  require(v.has_value(),
           "option --" + key + " expects an integer, got '" + it->second +
               "'");
-  return v;
+  return *v;
 }
 
 long Options::get_int_at_least(const std::string& key, long fallback,
@@ -61,11 +71,12 @@ double Options::get_double(const std::string& key, double fallback) const {
   touched_[key] = true;
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  require(end != nullptr && *end == '\0',
+  // Rejects trailing garbage ("1.5q"), inf/nan and out-of-range values —
+  // a malformed scale must be a diagnostic, never a silent truncation.
+  const auto v = parse_double(it->second);
+  require(v.has_value(),
           "option --" + key + " expects a number, got '" + it->second + "'");
-  return v;
+  return *v;
 }
 
 std::vector<std::string> Options::unused() const {

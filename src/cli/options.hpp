@@ -16,6 +16,14 @@ class Options {
   /// input ("--key" at the end expecting a value is treated as a flag).
   static Options parse(int argc, char** argv, int first = 1);
 
+  /// Build an option set directly from key/value pairs and positionals —
+  /// the entry point for non-argv frontends (the nvmsimd request layer
+  /// maps a JSON request's fields onto the same accessors the CLI uses,
+  /// so both paths share one validation story).  Flag-like keys should
+  /// map to "true", matching what parse() stores for a bare `--flag`.
+  static Options from_map(std::map<std::string, std::string> kv,
+                          std::vector<std::string> positionals);
+
   const std::vector<std::string>& positional() const { return positional_; }
   bool has(const std::string& key) const { return kv_.count(key) > 0; }
 

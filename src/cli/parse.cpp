@@ -1,0 +1,116 @@
+#include "cli/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "simcore/units.hpp"
+
+namespace nvms {
+
+namespace {
+
+/// True when `s` looks like a number strtol/strtod may parse from the
+/// first byte: no leading whitespace (strtol would skip it and we would
+/// accept " 12"), not empty.
+bool starts_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return !std::isspace(static_cast<unsigned char>(s.front()));
+}
+
+}  // namespace
+
+std::optional<long> parse_long(const std::string& s) {
+  if (!starts_numeric(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (!starts_numeric(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE && (v == 0.0 || std::isinf(v))) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;  // "inf", "nan"
+  return v;
+}
+
+std::optional<std::vector<int>> parse_int_csv(const std::string& s, long min,
+                                              std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  if (s.empty()) return fail("empty list");
+  std::vector<int> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t comma = s.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string cell = s.substr(begin, end - begin);
+    if (cell.empty()) {
+      return fail("empty cell at position " + std::to_string(begin));
+    }
+    const auto v = parse_long(cell);
+    if (!v) return fail("'" + cell + "' is not an integer");
+    if (*v < min) {
+      return fail("'" + cell + "' is below the minimum of " +
+                  std::to_string(min));
+    }
+    if (*v > std::numeric_limits<int>::max()) {
+      return fail("'" + cell + "' is out of range");
+    }
+    out.push_back(static_cast<int>(*v));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+    if (begin == s.size()) return fail("trailing comma");
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_budget_spec(const std::string& s,
+                                               std::uint64_t dram_capacity,
+                                               std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  if (!starts_numeric(s)) return fail("expected a number, got '" + s + "'");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return fail("expected a number, got '" + s + "'");
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return fail("'" + s + "' is out of range");
+  }
+  if (value < 0.0) return fail("budget must not be negative");
+  const std::string suffix(end);
+  if (suffix == "%") {
+    if (value <= 0.0 || value > 100.0) {
+      return fail("budget percent must be in (0,100]");
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(dram_capacity) *
+                                      value / 100.0);
+  }
+  double mult = 1.0;
+  if (suffix == "KiB") {
+    mult = static_cast<double>(KiB);
+  } else if (suffix == "MiB") {
+    mult = static_cast<double>(MiB);
+  } else if (suffix == "GiB") {
+    mult = static_cast<double>(GiB);
+  } else if (!suffix.empty()) {
+    return fail("bad suffix '" + suffix + "' (want %, KiB, MiB or GiB)");
+  }
+  return static_cast<std::uint64_t>(value * mult);
+}
+
+}  // namespace nvms

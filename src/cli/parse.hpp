@@ -1,0 +1,46 @@
+// Checked scalar parsing shared by the CLI driver and the nvmsimd
+// request layer (serve/request.cpp).
+//
+// Motivation (PR 8): the sweep `--threads` list used to go through an
+// unguarded std::stoi, so `nvmsim sweep --threads 12,abc` threw an
+// uncaught std::invalid_argument straight past the Error-only handler
+// and killed the process.  Tolerable in a one-shot CLI, fatal in a
+// daemon.  Every parser here is total: it consumes the *entire* input or
+// reports why not — no trailing garbage ("10xyz", "1.5q"), no silent
+// truncation, no exceptions.  Failures come back as std::nullopt with a
+// human-readable reason, so both frontends (argv and JSON requests)
+// reject bad input with a diagnostic instead of crashing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nvms {
+
+/// Strict base-10 integer: optional sign, digits, nothing else.  Rejects
+/// empty input, whitespace, trailing garbage and out-of-range values.
+std::optional<long> parse_long(const std::string& s);
+
+/// Strict finite double: everything strtod accepts *except* trailing
+/// garbage, hex floats with junk, inf/nan and empty input.
+std::optional<double> parse_double(const std::string& s);
+
+/// Parse a comma-separated list of integers, each >= `min`.  Unlike a
+/// split-then-stoi loop this rejects empty cells ("12,,24"), non-numeric
+/// cells ("12,abc") and below-minimum values ("0", "-3"), and says which
+/// cell was bad.  On failure returns nullopt and stores a one-line
+/// reason in `*why` (when non-null).
+std::optional<std::vector<int>> parse_int_csv(const std::string& s, long min,
+                                              std::string* why);
+
+/// Parse a DRAM budget: "35%" (of `dram_capacity`), a plain byte count,
+/// or a byte count with a KiB/MiB/GiB suffix.  Rejects trailing garbage
+/// ("10xyz"), non-finite values, negative values and percents outside
+/// (0,100].  On failure returns nullopt with a reason in `*why`.
+std::optional<std::uint64_t> parse_budget_spec(const std::string& s,
+                                               std::uint64_t dram_capacity,
+                                               std::string* why);
+
+}  // namespace nvms

@@ -1,0 +1,150 @@
+// Admission control for long-running frontends sitting in front of the
+// executor: a bounded multi-priority work queue and per-client token
+// budgets.  nvmsimd (serve/daemon.cpp) uses both so one flooding client
+// can neither wedge the process (the queue rejects instead of growing)
+// nor starve every other tenant (budgets cap a client's lifetime spend).
+//
+// Both classes are plain mutex/condvar constructions — deliberately no
+// lock-free cleverness: admission sits in front of simulation work that
+// runs for milliseconds, so queue synchronization is never the
+// bottleneck, and the simple form is easy to reason about under
+// shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvms {
+
+/// Bounded priority queue: `lanes` priority levels (0 = most urgent),
+/// FIFO within a lane, a shared capacity across lanes.  try_push never
+/// blocks — a full queue is the caller's cue to send a structured
+/// "queue_full" rejection, which is the whole point of admission control:
+/// overload surfaces as fast feedback, not unbounded memory.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity, int lanes = 10)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        lanes_(static_cast<std::size_t>(lanes < 1 ? 1 : lanes)) {}
+
+  /// Admit one item at `priority` (clamped to the lane range).  False
+  /// when the queue is full or closed; the item is then not consumed.
+  bool try_push(T& item, int priority) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      std::size_t lane = priority < 0 ? 0 : static_cast<std::size_t>(priority);
+      if (lane >= lanes_.size()) lane = lanes_.size() - 1;
+      lanes_[lane].push_back(std::move(item));
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking take: most urgent lane first, FIFO within a lane.  After
+  /// close(), remaining items are still drained; nullopt means closed
+  /// *and* empty — the worker's signal to exit.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      T item = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      return item;
+    }
+    return std::nullopt;  // unreachable: size_ > 0 implies a non-empty lane
+  }
+
+  /// Stop admitting; wake every waiter.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  std::vector<std::deque<T>> lanes_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+/// Per-client lifetime token budgets.  Every client id gets the same
+/// allowance; a request is charged its cost atomically-or-not-at-all, so
+/// concurrent requests from one client cannot overdraw.  An allowance of
+/// 0 means unlimited (accounting still tracks spend for observability).
+class TokenBudget {
+ public:
+  explicit TokenBudget(std::uint64_t per_client) : per_client_(per_client) {}
+
+  /// Charge `cost` tokens to `client`; false (and nothing charged) when
+  /// the remaining allowance cannot cover it.
+  bool charge(const std::string& client, std::uint64_t cost) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t& spent = spent_[client];
+    if (per_client_ != 0 && (cost > per_client_ || spent > per_client_ - cost)) {
+      return false;
+    }
+    spent += cost;
+    return true;
+  }
+
+  /// Return `cost` previously charged to `client` — used when admission
+  /// fails *after* the charge (queue full), so the rejected request does
+  /// not burn allowance.  Clamped at zero.
+  void refund(const std::string& client, std::uint64_t cost) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = spent_.find(client);
+    if (it == spent_.end()) return;
+    it->second = it->second > cost ? it->second - cost : 0;
+  }
+
+  /// Remaining allowance for `client`; UINT64_MAX when unlimited.
+  std::uint64_t remaining(const std::string& client) const {
+    if (per_client_ == 0) return UINT64_MAX;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = spent_.find(client);
+    const std::uint64_t spent = it == spent_.end() ? 0 : it->second;
+    return spent >= per_client_ ? 0 : per_client_ - spent;
+  }
+
+  std::uint64_t allowance() const { return per_client_; }
+
+  /// Number of distinct clients seen so far.
+  std::size_t clients() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spent_.size();
+  }
+
+ private:
+  std::uint64_t per_client_;
+  mutable std::mutex mu_;
+  // std::map: deterministic iteration if anyone ever exports per-client
+  // spend (DET-003 applies to export paths).
+  std::map<std::string, std::uint64_t> spent_;
+};
+
+}  // namespace nvms

@@ -31,10 +31,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const std::size_t cells =
       spec.modes.size() * spec.threads.size() * spec.scales.size();
   std::optional<ResolveCache> shared_cache;
+  ResolveCache* shared = nullptr;
   std::vector<std::unique_ptr<ResolveCache>> cell_caches;
   if (spec.resolve_cache == ResolveCacheMode::kShared) {
-    shared_cache.emplace(
-        static_cast<std::size_t>(spec.jobs > 0 ? spec.jobs : 0));
+    if (spec.external_cache != nullptr) {
+      shared = spec.external_cache;
+    } else {
+      shared_cache.emplace(
+          static_cast<std::size_t>(spec.jobs > 0 ? spec.jobs : 0));
+      shared = &*shared_cache;
+    }
   } else if (spec.resolve_cache == ResolveCacheMode::kPerRun) {
     cell_caches.reserve(cells);
     for (std::size_t i = 0; i < cells; ++i) {
@@ -56,8 +62,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
         task.cfg.size_scale = scale;
         task.cfg.seed = derive_task_seed(spec.seed, grid.size());
         task.telemetry = spec.telemetry;
-        if (shared_cache.has_value()) {
-          task.resolve_cache = &*shared_cache;
+        if (shared != nullptr) {
+          task.resolve_cache = shared;
         } else if (!cell_caches.empty()) {
           task.resolve_cache = cell_caches[grid.size()].get();
         }
@@ -73,9 +79,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
   SweepResult result;
   const auto outcomes = run_experiments(grid, spec.jobs, &result.stats);
 
-  if (shared_cache.has_value()) {
-    result.cache_stats = shared_cache->stats();
-    result.stream_stats = shared_cache->stream_stats();
+  if (shared != nullptr) {
+    result.cache_stats = shared->stats();
+    result.stream_stats = shared->stream_stats();
   } else {
     for (const auto& c : cell_caches) {
       for (const auto& [into, from] :

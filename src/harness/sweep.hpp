@@ -37,6 +37,13 @@ struct SweepSpec {
   /// kPerRun a private cache per cell.  Either way rows and exports are
   /// byte-identical to kOff — only the wall clock changes.
   ResolveCacheMode resolve_cache = ResolveCacheMode::kOff;
+  /// With kShared, a caller-owned cache to use instead of a grid-local
+  /// one — how nvmsimd keeps one process-lifetime cache warm across
+  /// requests.  Ignored for kOff/kPerRun.  The reported cache statistics
+  /// are then the external cache's cumulative totals, but rows and
+  /// exports remain byte-identical (memoization is semantically
+  /// transparent).  Must outlive run_sweep.
+  ResolveCache* external_cache = nullptr;
 
   void validate() const;
 };

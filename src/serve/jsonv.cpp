@@ -1,0 +1,345 @@
+#include "serve/jsonv.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace nvms {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.value_ = std::make_shared<Object>();
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.value_ = std::make_shared<Array>();
+  return v;
+}
+
+bool JsonValue::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+bool JsonValue::is_bool() const { return std::holds_alternative<bool>(value_); }
+bool JsonValue::is_number() const {
+  return std::holds_alternative<double>(value_);
+}
+bool JsonValue::is_string() const {
+  return std::holds_alternative<std::string>(value_);
+}
+bool JsonValue::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+bool JsonValue::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+bool JsonValue::as_bool() const {
+  return is_bool() ? std::get<bool>(value_) : false;
+}
+double JsonValue::as_number() const {
+  return is_number() ? std::get<double>(value_) : 0.0;
+}
+const std::string& JsonValue::as_string() const {
+  static const std::string kEmpty;
+  return is_string() ? std::get<std::string>(value_) : kEmpty;
+}
+const JsonValue::Object& JsonValue::members() const {
+  static const Object kEmpty;
+  return is_object() ? *std::get<std::shared_ptr<Object>>(value_) : kEmpty;
+}
+const JsonValue::Array& JsonValue::elements() const {
+  static const Array kEmpty;
+  return is_array() ? *std::get<std::shared_ptr<Array>>(value_) : kEmpty;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = members();
+  // Last occurrence wins (duplicate keys), so scan back to front.
+  for (auto it = obj.rbegin(); it != obj.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_member(std::string key, JsonValue v) {
+  if (!is_object()) value_ = std::make_shared<Object>();
+  std::get<std::shared_ptr<Object>>(value_)->emplace_back(std::move(key),
+                                                          std::move(v));
+}
+
+void JsonValue::push_element(JsonValue v) {
+  if (!is_array()) value_ = std::make_shared<Array>();
+  std::get<std::shared_ptr<Array>>(value_)->push_back(std::move(v));
+}
+
+namespace {
+
+/// Recursive-descent parser over a borrowed buffer.  Every failure sets
+/// `error` once and makes the remaining productions bail out quickly.
+class Parser {
+ public:
+  Parser(const std::string& text, std::size_t max_depth)
+      : s_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonValue v = parse_value(0);
+    if (!error_.empty()) return {std::nullopt, error_};
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return {std::nullopt, fail("trailing characters after the document")};
+    }
+    return {std::move(v), ""};
+  }
+
+ private:
+  std::string fail(const std::string& reason) {
+    if (error_.empty()) {
+      error_ = reason + " at offset " + std::to_string(pos_);
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos_ + i >= s_.size() || s_[pos_ + i] != word[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (!error_.empty()) return JsonValue();
+    if (depth > max_depth_) {
+      fail("nesting deeper than " + std::to_string(max_depth_));
+      return JsonValue();
+    }
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return JsonValue();
+    }
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      if (literal("true")) return JsonValue(true);
+    } else if (c == 'f') {
+      if (literal("false")) return JsonValue(false);
+    } else if (c == 'n') {
+      if (literal("null")) return JsonValue();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      return parse_number();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+    return JsonValue();
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    JsonValue obj = JsonValue::object();
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return obj;
+    while (error_.empty()) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        fail("expected a string object key");
+        return obj;
+      }
+      std::string key = parse_string();
+      if (!error_.empty()) return obj;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return obj;
+      }
+      obj.push_member(std::move(key), parse_value(depth + 1));
+      if (!error_.empty()) return obj;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}' in object");
+      return obj;
+    }
+    return obj;
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    JsonValue arr = JsonValue::array();
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return arr;
+    while (error_.empty()) {
+      arr.push_element(parse_value(depth + 1));
+      if (!error_.empty()) return arr;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']' in array");
+      return arr;
+    }
+    return arr;
+  }
+
+  JsonValue parse_number() {
+    errno = 0;
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      fail("malformed number");
+      return JsonValue();
+    }
+    if (errno == ERANGE || !std::isfinite(v)) {
+      fail("number out of range");
+      return JsonValue();
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return JsonValue(v);
+  }
+
+  /// Parse a hex escape digit group; returns the code unit or -1.
+  int hex4() {
+    if (pos_ + 4 > s_.size()) return -1;
+    int unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_ + static_cast<std::size_t>(i)];
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = 10 + c - 'a';
+      } else if (c >= 'A' && c <= 'F') {
+        d = 10 + c - 'A';
+      } else {
+        return -1;
+      }
+      unit = unit * 16 + d;
+    }
+    pos_ += 4;
+    return unit;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          int unit = hex4();
+          if (unit < 0) {
+            fail("bad \\u escape");
+            return out;
+          }
+          unsigned cp = static_cast<unsigned>(unit);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired \uXXXX low surrogate.
+            if (pos_ + 1 < s_.size() && s_[pos_] == '\\' &&
+                s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const int low = hex4();
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) +
+                     (static_cast<unsigned>(low) - 0xDC00);
+              } else {
+                fail("unpaired surrogate in \\u escape");
+                return out;
+              }
+            } else {
+              fail("unpaired surrogate in \\u escape");
+              return out;
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+            return out;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown string escape");
+          return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  const std::string& s_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult json_parse(const std::string& text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace nvms

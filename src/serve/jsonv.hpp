@@ -1,0 +1,79 @@
+// Minimal JSON reader for the nvmsimd request layer (docs/SERVICE.md).
+//
+// The repo's simcore/json.hpp is a writer only; the daemon needs the
+// other direction: one line of client-supplied bytes → a value tree, with
+// hard limits (depth, and the caller caps input size) so a hostile
+// request can neither overflow the stack nor balloon memory.  Parsing is
+// total — every failure is a (reason, offset) diagnostic, never an
+// exception — because a malformed request must come back as a structured
+// error, not take the daemon down.
+//
+// Supported: RFC 8259 objects/arrays/strings/numbers/true/false/null,
+// string escapes incl. \uXXXX (surrogate pairs → UTF-8).  Duplicate
+// object keys keep their last value, matching common parser behavior.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nvms {
+
+class JsonValue {
+ public:
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;  ///< insertion order preserved
+  using Array = std::vector<JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  static JsonValue object();
+  static JsonValue array();
+
+  bool is_null() const;
+  bool is_bool() const;
+  bool is_number() const;
+  bool is_string() const;
+  bool is_object() const;
+  bool is_array() const;
+
+  /// Typed accessors; the caller checks the kind first (they return
+  /// false/0/"" / empty containers on kind mismatch rather than throwing,
+  /// so request validation stays exception-free).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Object& members() const;
+  const Array& elements() const;
+
+  /// Object member lookup (last occurrence wins); nullptr when this is
+  /// not an object or the key is absent.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Mutators used by the parser.
+  void push_member(std::string key, JsonValue v);
+  void push_element(JsonValue v);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      value_;
+};
+
+struct JsonParseResult {
+  std::optional<JsonValue> value;  ///< nullopt on error
+  std::string error;               ///< "reason at offset N" when !value
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+/// `max_depth` bounds container nesting (the recursion depth).
+JsonParseResult json_parse(const std::string& text,
+                           std::size_t max_depth = 32);
+
+}  // namespace nvms

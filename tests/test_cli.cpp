@@ -8,7 +8,9 @@
 
 #include "cli/driver.hpp"
 #include "cli/options.hpp"
+#include "cli/parse.hpp"
 #include "simcore/error.hpp"
+#include "simcore/units.hpp"
 
 namespace nvms {
 namespace {
@@ -62,6 +64,24 @@ TEST(Options, RejectsMalformedNumbers) {
   EXPECT_THROW(opt.get_int("threads", 0), ConfigError);
 }
 
+TEST(Options, RejectsTrailingGarbage) {
+  // std::strtol/strtod stop at the first bad byte; the checked parsers
+  // must treat a partial match as an error, not a silent truncation.
+  Argv a({"prog", "--threads", "10xyz", "--scale", "1.5q"});
+  const auto opt = Options::parse(a.argc(), a.argv(), 1);
+  EXPECT_THROW(opt.get_int("threads", 0), ConfigError);
+  EXPECT_THROW(opt.get_double("scale", 1.0), ConfigError);
+}
+
+TEST(Options, FromMapMatchesParse) {
+  const auto opt = Options::from_map(
+      {{"threads", "24"}, {"flag", "true"}}, {"xsbench"});
+  ASSERT_EQ(opt.positional().size(), 1u);
+  EXPECT_EQ(opt.positional()[0], "xsbench");
+  EXPECT_EQ(opt.get_int("threads", 0), 24);
+  EXPECT_TRUE(opt.has("flag"));
+}
+
 TEST(Options, TracksUnusedKeys) {
   Argv a({"prog", "--used", "1", "--typo", "2"});
   const auto opt = Options::parse(a.argc(), a.argv(), 1);
@@ -69,6 +89,62 @@ TEST(Options, TracksUnusedKeys) {
   const auto unused = opt.unused();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo");
+}
+
+// ---------- checked scalar parsers (cli/parse.hpp) ------------------------
+
+TEST(Parse, LongIsTotal) {
+  EXPECT_EQ(parse_long("12"), 12);
+  EXPECT_EQ(parse_long("-3"), -3);
+  EXPECT_EQ(parse_long("0"), 0);
+  for (const char* bad :
+       {"", " 12", "12 ", "12x", "x12", "1.5", "999999999999999999999"}) {
+    EXPECT_FALSE(parse_long(bad).has_value()) << bad;
+  }
+}
+
+TEST(Parse, DoubleIsTotal) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3").value(), -2000.0);
+  for (const char* bad : {"", " 1", "1.5q", "q1.5", "inf", "nan", "1e999"}) {
+    EXPECT_FALSE(parse_double(bad).has_value()) << bad;
+  }
+}
+
+TEST(Parse, IntCsvReportsTheBadCell) {
+  std::string why;
+  const auto ok = parse_int_csv("12,24,36", 1, &why);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, (std::vector<int>{12, 24, 36}));
+  struct Case {
+    const char* input;
+    const char* reason;
+  };
+  for (const Case& c : {Case{"12,abc", "'abc' is not an integer"},
+                        Case{"12,,24", "empty cell"},
+                        Case{"0", "below the minimum"},
+                        Case{"-3", "below the minimum"},
+                        Case{"12,", "trailing comma"},
+                        Case{"", "empty list"}}) {
+    EXPECT_FALSE(parse_int_csv(c.input, 1, &why).has_value()) << c.input;
+    EXPECT_NE(why.find(c.reason), std::string::npos)
+        << c.input << " -> " << why;
+  }
+}
+
+TEST(Parse, BudgetSpecHandlesSuffixesAndRejectsGarbage) {
+  const std::uint64_t cap = 1000;
+  EXPECT_EQ(parse_budget_spec("35%", cap, nullptr).value(), 350u);
+  EXPECT_EQ(parse_budget_spec("512", cap, nullptr).value(), 512u);
+  EXPECT_EQ(parse_budget_spec("10KiB", cap, nullptr).value(), 10 * KiB);
+  EXPECT_EQ(parse_budget_spec("2MiB", cap, nullptr).value(), 2 * MiB);
+  EXPECT_EQ(parse_budget_spec("1GiB", cap, nullptr).value(), 1 * GiB);
+  std::string why;
+  for (const char* bad :
+       {"10xyz", "1.5q", "-1", "0%", "101%", "inf", "nan", "", "KiB"}) {
+    EXPECT_FALSE(parse_budget_spec(bad, cap, &why).has_value()) << bad;
+    EXPECT_FALSE(why.empty()) << bad;
+  }
 }
 
 // ---------- driver ----------------------------------------------------------
@@ -169,7 +245,8 @@ TEST(Cli, SweepWritesStatsCsv) {
 
 TEST(Cli, SweepRejectsNegativeJobs) {
   std::string err;
-  EXPECT_EQ(run_cli({"sweep", "hacc", "--jobs", "-2"}, nullptr, &err), 1);
+  // Bad input is a usage error (exit 2) since the serve/CLI hardening pass.
+  EXPECT_EQ(run_cli({"sweep", "hacc", "--jobs", "-2"}, nullptr, &err), 2);
   EXPECT_NE(err.find("--jobs"), std::string::npos);
 }
 
@@ -322,9 +399,62 @@ TEST(Cli, ErrorsAreReported) {
   EXPECT_EQ(run_cli({"frobnicate"}, nullptr, &err), 2);
   EXPECT_NE(err.find("unknown command"), std::string::npos);
   EXPECT_EQ(run_cli({"run"}, nullptr, &err), 2);
-  EXPECT_EQ(run_cli({"run", "nope"}, nullptr, &err), 1);
+  // An unknown app is a ConfigError — bad input, so a usage error (2).
+  EXPECT_EQ(run_cli({"run", "nope"}, nullptr, &err), 2);
   EXPECT_EQ(run_cli({"run", "hacc", "--mode", "weird"}, nullptr, &err), 2);
   EXPECT_EQ(run_cli({}, nullptr, &err), 2);  // usage
+}
+
+// The negative-path table: every subcommand driven with malformed input
+// must exit 2 with a diagnostic on stderr — and must never terminate the
+// process via an uncaught exception (the `sweep --threads 12,abc` row is
+// the exact reproducer that used to throw std::invalid_argument straight
+// through cli_main; under nvmsimd that was a daemon-killer).
+TEST(Cli, MalformedInputsAreUsageErrorsAcrossAllCommands) {
+  struct Case {
+    std::vector<std::string> args;
+    const char* diagnostic;  ///< expected substring on stderr
+  };
+  const std::vector<Case> cases = {
+      {{"sweep", "hacc", "--threads", "12,abc"}, "not an integer"},
+      {{"sweep", "hacc", "--threads", "12,,24"}, "empty cell"},
+      {{"sweep", "hacc", "--threads", "0"}, "below the minimum"},
+      {{"sweep", "hacc", "--threads", "-3,12"}, "below the minimum"},
+      {{"sweep", "hacc", "--threads", "12,"}, "trailing comma"},
+      {{"sweep", "hacc", "--modes", "weird"}, "unknown mode"},
+      {{"sweep", "hacc", "--jobs", "2x"}, "--jobs"},
+      {{"sweep", "hacc", "--resolve-cache", "sometimes"}, "--resolve-cache"},
+      {{"run", "hacc", "--threads", "1.5"}, "--threads"},
+      {{"run", "hacc", "--threads", "10xyz"}, "--threads"},
+      {{"run", "hacc", "--scale", "1.5q"}, "--scale"},
+      {{"run", "hacc", "--iters", "ten"}, "--iters"},
+      {{"run", "hacc", "--mode", "bogus"}, "unknown mode"},
+      {{"run", "hacc", "--numa", "diagonal"}, "--numa"},
+      {{"inspect", "hacc", "--format", "yaml"}, "--format"},
+      {{"inspect", "hacc", "--mode", "bogus"}, "unknown mode"},
+      {{"explain", "no-such-app"}, "neither"},
+      {{"explain", "ft", "--scale", "0.25", "--format", "xml"}, "--format"},
+      {{"diff", "ft"}, "need two"},
+      // --scale 0.25 keeps the (pre-budget-check) recording run cheap.
+      {{"optimize", "ft", "--scale", "0.25", "--budget", "10xyz"}, "--budget"},
+      {{"optimize", "ft", "--scale", "0.25", "--budget", "1.5q"}, "--budget"},
+      {{"optimize", "ft", "--scale", "0.25", "--budget", "-5"}, "--budget"},
+      {{"optimize", "ft", "--scale", "0.25", "--budget", "200%"}, "--budget"},
+      {{"optimize", "hacc", "--mode", "bogus"}, "unknown mode"},
+      {{"profile", "nope", "--budget", "35"}, "unknown app"},
+      {{"profile", "hacc", "--budget", "0"}, "--budget"},
+      {{"record", "hacc"}, "--out"},
+      {{"replay"}, "missing trace file"},
+  };
+  for (const Case& c : cases) {
+    std::string label;
+    for (const auto& a : c.args) label += a + " ";
+    std::string err;
+    // run_cli reaching this EXPECT at all proves no exception escaped.
+    EXPECT_EQ(run_cli(c.args, nullptr, &err), 2) << label;
+    EXPECT_NE(err.find(c.diagnostic), std::string::npos)
+        << label << "stderr was: " << err;
+  }
 }
 
 TEST(Cli, WarnsOnUnusedOptions) {

@@ -114,6 +114,7 @@ struct Config {
       "src/obs/",
       "src/harness/executor",
       "src/harness/kernel_bench",  // replay timing is the deliverable
+      "src/serve/",  // daemon: request latency metrics + socket deadlines
   };
   /// DET-003 scope: export/report/CSV paths where iteration order becomes
   /// bytes in a deliverable.
